@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Fig. 5 reproduction: performance and energy improvements over
+ * Tesseract for the eight-step ablation ladder, four applications
+ * (BFS, WCC, PageRank, SSSP) and four datasets, all at 256 processing
+ * cores (16x16 Dalorex grid vs 16-cube HMC).
+ *
+ * Prints one improvement table per application for performance and for
+ * energy (factors over the Tesseract baseline, the paper's Y-axis),
+ * then the in-text geomean ladder summary (Sec. V-A: Data-Local 6.2x,
+ * TSU 4.7x, Uniform-Distr 2.6x, Traffic-Aware 1.7x, NoC+barrierless
+ * 1.8x -> 221x; energy 16x / 5.2x / 3.9x -> 325x).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace dalorex;
+using namespace dalorex::bench;
+
+namespace
+{
+
+struct CellResult
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+};
+
+/** results[step][dataset] for one kernel. */
+using Ladder = std::map<AblationStep, std::vector<CellResult>>;
+
+std::vector<AblationStep>
+allSteps()
+{
+    std::vector<AblationStep> steps = {AblationStep::tesseract,
+                                       AblationStep::tesseractLc};
+    for (AblationStep step : dalorexSteps())
+        steps.push_back(step);
+    return steps;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    const std::vector<Dataset> datasets = figDatasets(opts);
+    const std::vector<Kernel> kernels = fig5Kernels();
+
+    std::printf("Fig. 5: improvement over Tesseract, 256 cores "
+                "(%s scale)\n\n",
+                opts.full ? "full" : "quick");
+    for (const Dataset& ds : datasets) {
+        std::printf("  %-5s %s (V=%u, E=%u)\n", ds.name.c_str(),
+                    ds.provenance.c_str(), ds.graph.numVertices,
+                    ds.graph.numEdges);
+    }
+    std::printf("\n");
+
+    // Geomean accumulators across (kernel, dataset) for the summary.
+    std::map<AblationStep, std::vector<double>> perf_gains;
+    std::map<AblationStep, std::vector<double>> energy_gains;
+
+    for (const Kernel kernel : kernels) {
+        Ladder ladder;
+        for (const Dataset& ds : datasets) {
+            std::fprintf(stderr, "[fig5] %s on %s...\n",
+                         toString(kernel), ds.name.c_str());
+            KernelSetup setup =
+                makeKernelSetup(kernel, ds.graph, opts.seed);
+            setup.iterations = 5; // PageRank epochs (bench budget)
+            // HMC baseline and its large-cache variant.
+            const BaselineRun base =
+                runTesseractBaseline(setup, false);
+            const BaselineRun lc = runTesseractBaseline(setup, true);
+            ladder[AblationStep::tesseract].push_back(
+                {base.seconds, base.joules});
+            ladder[AblationStep::tesseractLc].push_back(
+                {lc.seconds, lc.joules});
+            // The six Dalorex-engine steps.
+            for (const AblationStep step : dalorexSteps()) {
+                const DalorexRun run =
+                    runDalorex(setup, ablationConfig(step, 16, 16));
+                ladder[step].push_back({run.seconds, run.joules});
+            }
+        }
+
+        std::vector<std::string> headers = {"config"};
+        for (const Dataset& ds : datasets)
+            headers.push_back(ds.name);
+        Table perf(headers);
+        Table energy(headers);
+        const auto& base = ladder[AblationStep::tesseract];
+        for (const AblationStep step : allSteps()) {
+            std::vector<std::string> prow = {toString(step)};
+            std::vector<std::string> erow = {toString(step)};
+            for (std::size_t d = 0; d < datasets.size(); ++d) {
+                const double pgain =
+                    base[d].seconds / ladder[step][d].seconds;
+                const double egain =
+                    base[d].joules / ladder[step][d].joules;
+                prow.push_back(Table::fmt(pgain, 2));
+                erow.push_back(Table::fmt(egain, 2));
+                perf_gains[step].push_back(pgain);
+                energy_gains[step].push_back(egain);
+            }
+            perf.addRow(std::move(prow));
+            energy.addRow(std::move(erow));
+        }
+
+        std::printf("== %s: performance improvement over Tesseract "
+                    "(higher is better) ==\n",
+                    toString(kernel));
+        perf.print();
+        maybeWriteCsv(opts, perf,
+                      std::string("fig5_perf_") + toString(kernel));
+        std::printf("\n== %s: energy improvement over Tesseract "
+                    "(higher is better) ==\n",
+                    toString(kernel));
+        energy.print();
+        maybeWriteCsv(opts, energy,
+                      std::string("fig5_energy_") + toString(kernel));
+        std::printf("\n");
+    }
+
+    // In-text ladder summary: geomean step-over-step factors.
+    Table summary({"step", "perf x (geomean)", "paper perf x",
+                   "energy x (geomean)", "paper energy x"});
+    struct StepRef
+    {
+        AblationStep from;
+        AblationStep to;
+        const char* paper_perf;
+        const char* paper_energy;
+    };
+    const StepRef refs[] = {
+        {AblationStep::tesseract, AblationStep::tesseractLc, "-",
+         "16 (SRAM)"},
+        {AblationStep::tesseract, AblationStep::dataLocal, "6.2", "-"},
+        {AblationStep::dataLocal, AblationStep::basicTsu, "4.7",
+         "3.9 (TSU)"},
+        {AblationStep::basicTsu, AblationStep::uniformDistr, "2.6",
+         "-"},
+        {AblationStep::uniformDistr, AblationStep::trafficAware,
+         "1.7", "-"},
+        {AblationStep::trafficAware, AblationStep::torusNoc,
+         "~1.4 (torus, Fig.8)", "-"},
+        {AblationStep::torusNoc, AblationStep::dalorexFull,
+         "~1.3 (barrierless)", "-"},
+        {AblationStep::trafficAware, AblationStep::dalorexFull,
+         "1.8 (NoC+barrierless)", "-"},
+        {AblationStep::tesseract, AblationStep::dalorexFull, "221",
+         "325"},
+    };
+    for (const StepRef& ref : refs) {
+        std::vector<double> pf;
+        std::vector<double> ef;
+        for (std::size_t i = 0; i < perf_gains[ref.to].size(); ++i) {
+            pf.push_back(perf_gains[ref.to][i] /
+                         perf_gains[ref.from][i]);
+            ef.push_back(energy_gains[ref.to][i] /
+                         energy_gains[ref.from][i]);
+        }
+        summary.addRow({std::string(toString(ref.from)) + " -> " +
+                            toString(ref.to),
+                        Table::fmt(geomean(pf), 2), ref.paper_perf,
+                        Table::fmt(geomean(ef), 2),
+                        ref.paper_energy});
+    }
+    std::printf("== Sec. V-A in-text geomean ladder ==\n");
+    summary.print();
+    maybeWriteCsv(opts, summary, "fig5_summary");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 8 reproduction: performance improvement of the 2D torus and
+ * torus+ruche NoCs over the 2D mesh, per application and dataset.
+ *
+ * Expected shapes (Sec. V-C): the torus is ~2x the mesh at 16x16
+ * (uniform router utilization instead of center contention); ruche
+ * channels only pay off on the large grid, where bisection bandwidth
+ * is the constraint.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace dalorex;
+using namespace dalorex::bench;
+
+namespace
+{
+
+double
+runCycles(const KernelSetup& setup, std::uint32_t side,
+          NocTopology topology, std::uint32_t ruche)
+{
+    MachineConfig config =
+        ablationConfig(AblationStep::dalorexFull, side, side);
+    config.topology = topology;
+    config.rucheFactor = ruche;
+    const DalorexRun run = runDalorex(setup, config);
+    return static_cast<double>(run.stats.cycles);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+
+    // Paper: WK, LJ, R22 on 16x16; RMAT-26 on 64x64. The large-grid
+    // entry scales to 32x32 (64x64 with --full).
+    std::vector<Dataset> datasets = figDatasets(opts);
+    datasets.erase(datasets.begin()); // drop AZ (not in Fig. 8)
+    Dataset big = makeDataset(opts.full ? "rmat17" : "rmat15",
+                              opts.seed);
+    big.name = "R26s";
+    const std::uint32_t big_side = opts.full ? 64 : 32;
+    const std::uint32_t small_side = 16;
+
+    std::printf("Fig. 8: Torus and Torus-Ruche speedup over Mesh "
+                "(%s scale)\n",
+                opts.full ? "full" : "quick");
+    std::printf("Datasets on %ux%u; %s on %ux%u\n\n", small_side,
+                small_side, big.name.c_str(), big_side, big_side);
+
+    Table table({"kernel", "dataset", "tiles", "mesh cyc",
+                 "torus x", "torus-ruche x"});
+
+    for (const Kernel kernel : allKernels()) {
+        auto run_row = [&](const Dataset& ds, std::uint32_t side) {
+            KernelSetup setup =
+                makeKernelSetup(kernel, ds.graph, opts.seed);
+            setup.iterations = 5;
+            const std::uint32_t ruche = side >= 32 ? 4 : 2;
+            const double mesh =
+                runCycles(setup, side, NocTopology::mesh, 0);
+            const double torus =
+                runCycles(setup, side, NocTopology::torus, 0);
+            const double torus_ruche = runCycles(
+                setup, side, NocTopology::torusRuche, ruche);
+            table.addRow({toString(kernel), ds.name,
+                          std::to_string(side * side),
+                          Table::fmt(mesh, 0),
+                          Table::fmt(mesh / torus, 2),
+                          Table::fmt(mesh / torus_ruche, 2)});
+        };
+        for (const Dataset& ds : datasets)
+            run_row(ds, small_side);
+        run_row(big, big_side);
+    }
+
+    table.print();
+    maybeWriteCsv(opts, table, "fig8_noc");
+    std::printf("\nExpected shape: torus ~2x mesh on 16x16; ruche "
+                "only helps on the large grid.\n");
+    return 0;
+}

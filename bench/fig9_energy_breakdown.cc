@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 9 reproduction: breakdown of the energy consumed by computing
+ * logic, SRAM cells and network communication (routing + wires), per
+ * application and dataset, as a percentage of the total.
+ *
+ * Expected shapes (Sec. V-C): the network dominates — Dalorex pairs
+ * energy-efficient memories and very simple PUs with a NoC whose share
+ * grows with grid size (longer average distance per vertex update on
+ * the large grid).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace dalorex;
+using namespace dalorex::bench;
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+
+    std::vector<Dataset> datasets = figDatasets(opts);
+    datasets.erase(datasets.begin()); // Fig. 9 uses WK, LJ, R22, R26
+    Dataset big = makeDataset(opts.full ? "rmat17" : "rmat15",
+                              opts.seed);
+    big.name = "R26s";
+    const std::uint32_t big_side = opts.full ? 64 : 32;
+
+    std::printf("Fig. 9: energy breakdown (%% of total), %s scale\n\n",
+                opts.full ? "full" : "quick");
+
+    Table table({"kernel", "dataset", "tiles", "logic %", "memory %",
+                 "network %", "total J"});
+
+    for (const Kernel kernel : allKernels()) {
+        auto run_row = [&](const Dataset& ds, std::uint32_t side) {
+            KernelSetup setup =
+                makeKernelSetup(kernel, ds.graph, opts.seed);
+            setup.iterations = 5;
+            MachineConfig config = ablationConfig(
+                AblationStep::dalorexFull, side, side);
+            if (side > 32) {
+                config.topology = NocTopology::torusRuche;
+                config.rucheFactor = 4;
+            }
+            const DalorexRun run = runDalorex(setup, config);
+            table.addRow({toString(kernel), ds.name,
+                          std::to_string(side * side),
+                          Table::fmt(run.energy.logicPct(), 1),
+                          Table::fmt(run.energy.memoryPct(), 1),
+                          Table::fmt(run.energy.networkPct(), 1),
+                          Table::sci(run.energy.totalJ(), 3)});
+        };
+        for (const Dataset& ds : datasets)
+            run_row(ds, 16);
+        run_row(big, big_side);
+    }
+
+    table.print();
+    maybeWriteCsv(opts, table, "fig9_energy_breakdown");
+    std::printf("\nExpected shape: network is the largest share and "
+                "grows with grid size.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sparse-matrix power iteration built from repeated Dalorex SPMV runs
+ * — the sparse-linear-algebra use the paper demonstrates with SPMV
+ * (Sec. II / VII: "most advantageous for those bottlenecked by
+ * pointer indirection ... e.g., SPMV").
+ *
+ * Each step computes y = A*x on the chip (integer arithmetic, exact),
+ * then the host rescales y into the next x — exactly the
+ * loosely-coupled accelerator flow of Sec. III-C, where the host owns
+ * orchestration and the chip owns the memory-bound kernel.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/spmv.hh"
+#include "common/rng.hh"
+#include "graph/csr.hh"
+#include "graph/reference.hh"
+#include "graph/rmat.hh"
+#include "sim/machine.hh"
+
+using namespace dalorex;
+
+namespace
+{
+
+/** One y = A*x on a fresh machine; returns y (validated). */
+std::vector<Word>
+spmvOnChip(const Csr& matrix, const std::vector<Word>& x,
+           Cycle& cycles_out)
+{
+    SpmvApp app(matrix, x);
+    MachineConfig config;
+    config.width = 8;
+    config.height = 8;
+    Machine machine(config, matrix.numVertices, matrix.numEdges);
+    const RunStats stats = machine.run(app);
+    cycles_out = stats.cycles;
+    std::vector<Word> y = app.gatherValues(machine);
+    if (y != referenceSpmv(matrix, x)) {
+        std::printf("ERROR: SPMV mismatch\n");
+        std::exit(1);
+    }
+    return y;
+}
+
+} // namespace
+
+int
+main()
+{
+    // A sparse matrix stored column-major in CSR arrays: an RMAT
+    // sparsity pattern with small integer values.
+    RmatParams params;
+    params.scale = 12; // 4,096 x 4,096
+    params.edgeFactor = 8;
+    params.seed = 7;
+    Csr matrix = rmatGraph(params);
+    Rng rng(7);
+    addRandomWeights(matrix, rng, 1, 3);
+    std::printf("matrix: %u x %u, %u non-zeros\n", matrix.numVertices,
+                matrix.numVertices, matrix.numEdges);
+
+    // Power iteration: x_{k+1} = normalize(A * x_k). The host
+    // rescales to keep the integer pipeline exact and overflow-free.
+    std::vector<Word> x(matrix.numVertices, 100);
+    Cycle total_cycles = 0;
+    const unsigned steps = 4;
+    for (unsigned k = 0; k < steps; ++k) {
+        Cycle cycles = 0;
+        std::vector<Word> y = spmvOnChip(matrix, x, cycles);
+        total_cycles += cycles;
+
+        Word y_max = 0;
+        for (const Word yi : y)
+            y_max = std::max(y_max, yi);
+        // Rescale the dominant component back to ~100.
+        for (VertexId i = 0; i < matrix.numVertices; ++i)
+            x[i] = y_max == 0 ? 0 : (y[i] * 100) / y_max;
+
+        // Report the dominant entries of the current iterate.
+        VertexId arg_max = 0;
+        for (VertexId i = 0; i < matrix.numVertices; ++i)
+            if (y[i] > y[arg_max])
+                arg_max = i;
+        std::printf("step %u: %8llu cycles, dominant row %u "
+                    "(|y|_inf = %u)\n",
+                    k + 1, static_cast<unsigned long long>(cycles),
+                    arg_max, y_max);
+    }
+    std::printf("\n%u exact on-chip SPMV steps, %llu total cycles "
+                "(all validated)\n",
+                steps, static_cast<unsigned long long>(total_cycles));
+    return 0;
+}

@@ -1,0 +1,39 @@
+#include "apps/bfs.hh"
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+BfsApp::BfsApp(const Csr& graph, VertexId root)
+    : GraphAppBase(graph), root_(root)
+{
+    fatal_if(root >= graph.numVertices, "BFS root out of range");
+}
+
+void
+BfsApp::initTile(Machine& machine, TileId tile, GraphTileState& st)
+{
+    (void)machine;
+    (void)tile;
+    for (auto& v : st.value)
+        v = infDist;
+}
+
+void
+BfsApp::start(Machine& machine)
+{
+    const Partition& part = machine.partition();
+    auto& st =
+        machine.state<GraphTileState>(part.vertexOwner(root_));
+    st.value[part.vertexLocal(root_)] = 0;
+    seedRoot(machine, root_);
+}
+
+bool
+BfsApp::startEpoch(Machine& machine)
+{
+    return seedFrontierBlocks(machine);
+}
+
+} // namespace dalorex

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Breadth-First Search in the Dalorex task model: hop count from a
+ * root vertex to every reachable vertex (Sec. IV).
+ */
+
+#ifndef DALOREX_APPS_BFS_HH
+#define DALOREX_APPS_BFS_HH
+
+#include "apps/graph_app.hh"
+
+namespace dalorex
+{
+
+/** BFS: label-correcting hop-distance propagation, barrierless. */
+class BfsApp : public GraphAppBase
+{
+  public:
+    /** @param root Source vertex; should have out-degree > 0. */
+    BfsApp(const Csr& graph, VertexId root);
+
+    const char* name() const override { return "BFS"; }
+    void start(Machine& machine) override;
+    bool startEpoch(Machine& machine) override;
+
+  protected:
+    KernelTaskSet tasks() const override { return bfsTasks(); }
+    bool usesWeights() const override { return false; }
+    void initTile(Machine& machine, TileId tile,
+                  GraphTileState& st) override;
+
+  private:
+    VertexId root_;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_BFS_HH

@@ -1,0 +1,210 @@
+#include "apps/graph_app.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+GraphAppBase::GraphAppBase(const Csr& graph) : graph_(graph)
+{
+    panic_if(graph_.numVertices == 0 || graph_.numEdges == 0,
+             "graph kernels need a non-empty graph");
+}
+
+void
+GraphAppBase::setQueueSizing(const QueueSizing& sizing)
+{
+    fatal_if(sizing.cq2 < sizing.oqt2,
+             "CQ2 capacity must cover the OQT2 guarantee");
+    sizing_ = sizing;
+}
+
+void
+GraphAppBase::configure(Machine& machine)
+{
+    const Partition& part = machine.partition();
+    panic_if(part.numVertices() != graph_.numVertices ||
+                 part.numEdges() != graph_.numEdges,
+             "machine partition does not match the app's graph");
+
+    const std::uint32_t npc = part.nodesPerChunk();
+    const std::uint32_t epc = part.edgesPerChunk();
+    const auto blocks = static_cast<std::uint32_t>(divCeil(npc, 32));
+    const bool weights = usesWeights();
+    panic_if(weights && !graph_.weighted(),
+             "kernel needs edge values but the graph has none");
+
+    for (TileId t = 0; t < machine.numTiles(); ++t) {
+        auto st = std::make_unique<GraphTileState>();
+        st->rowBegin.assign(npc, 0);
+        st->rowEnd.assign(npc, 0);
+        st->value.assign(npc, 0);
+        if (usesAux())
+            st->aux.assign(npc, 0);
+        if (usesAcc())
+            st->acc.assign(npc, 0);
+        st->edgeIdx.assign(epc, 0);
+        if (weights)
+            st->edgeVal.assign(epc, 0);
+        st->frontier.assign(blocks, 0);
+        st->oqt2 = sizing_.oqt2;
+        st->barrierMode = machine.config().barrier || needsBarrier();
+        st->owned = part.ownedVertices(t);
+
+        for (std::uint32_t l = 0; l < st->owned; ++l) {
+            const VertexId v = part.vertexGlobal(t, l);
+            st->rowBegin[l] = graph_.rowPtr[v];
+            st->rowEnd[l] = graph_.rowPtr[v + 1];
+        }
+        const std::uint32_t owned_edges = part.ownedEdges(t);
+        for (std::uint32_t l = 0; l < owned_edges; ++l) {
+            const EdgeId e = part.edgeGlobal(t, l);
+            st->edgeIdx[l] = graph_.colIdx[e];
+            if (weights)
+                st->edgeVal[l] = graph_.weights[e];
+        }
+
+        initTile(machine, t, *st);
+
+        std::uint64_t words = st->rowBegin.size() + st->rowEnd.size() +
+                              st->value.size() + st->aux.size() +
+                              st->acc.size() + st->edgeIdx.size() +
+                              st->edgeVal.size() + st->frontier.size();
+        machine.addDataWords(t, words);
+        machine.setTileState(t, std::move(st));
+    }
+
+    const KernelTaskSet set = tasks();
+
+    TaskDef t1;
+    t1.name = "T1";
+    t1.paramWords = 1;
+    t1.preload = false; // T1 peeks and may keep the vertex (Listing 1)
+    t1.iqCapacity = sizing_.iq1;
+    t1.outChannel = kCq1;
+    t1.maxOutMsgs = 0; // self-throttling on CQ1.full
+    t1.fn = set.t1;
+    machine.addTask(std::move(t1));
+
+    TaskDef t2;
+    t2.name = "T2";
+    t2.paramWords = 3;
+    t2.preload = true;
+    t2.iqCapacity = sizing_.iq2;
+    t2.outChannel = kCq2;
+    t2.maxOutMsgs = sizing_.oqt2; // Listing 1's OQT2 guarantee
+    t2.fn = set.t2;
+    machine.addTask(std::move(t2));
+
+    TaskDef t3;
+    t3.name = "T3";
+    t3.paramWords = 2;
+    t3.preload = true;
+    t3.iqCapacity = sizing_.iq3;
+    // T3's only output is the never-overflowing IQ4 (a block id is
+    // queued at most once while its bits are set), so it carries no
+    // runnable constraint — it must always drain the network.
+    t3.fn = set.t3;
+    machine.addTask(std::move(t3));
+
+    TaskDef t4;
+    t4.name = "T4";
+    t4.paramWords = 1;
+    t4.preload = false; // pops a block only once fully drained
+    t4.iqCapacity = blocks + 1;
+    t4.outLocalTask = kT1; // needs IQ1 space to make progress
+    t4.fn = set.t4;
+    machine.addTask(std::move(t4));
+
+    ChannelDef cq1;
+    cq1.name = "CQ1";
+    cq1.numWords = 3;
+    cq1.targetTask = kT2;
+    cq1.encode = HeadEncode::edge;
+    cq1.cqCapacity = sizing_.cq1;
+    machine.addChannel(std::move(cq1));
+
+    ChannelDef cq2;
+    cq2.name = "CQ2";
+    cq2.numWords = 2;
+    cq2.targetTask = kT3;
+    cq2.encode = HeadEncode::vertex;
+    cq2.cqCapacity = sizing_.cq2;
+    machine.addChannel(std::move(cq2));
+}
+
+void
+GraphAppBase::seedFullFrontier(Machine& machine)
+{
+    for (TileId t = 0; t < machine.numTiles(); ++t) {
+        auto& st = machine.state<GraphTileState>(t);
+        if (st.owned == 0)
+            continue;
+        const std::uint32_t full_blocks = st.owned / 32;
+        for (std::uint32_t b = 0; b < full_blocks; ++b)
+            st.frontier[b] = ~Word(0);
+        if (st.owned % 32 != 0)
+            st.frontier[full_blocks] =
+                (Word(1) << (st.owned % 32)) - 1;
+        const auto active = static_cast<std::uint32_t>(
+            divCeil(st.owned, 32));
+        st.blocksInFrontier = active;
+        for (std::uint32_t b = 0; b < active; ++b)
+            machine.seed(t, kT4, {b});
+    }
+}
+
+void
+GraphAppBase::seedRoot(Machine& machine, VertexId root)
+{
+    const Partition& part = machine.partition();
+    machine.seed(part.vertexOwner(root), kT1,
+                 {part.vertexLocal(root)});
+}
+
+bool
+GraphAppBase::seedFrontierBlocks(Machine& machine)
+{
+    bool any = false;
+    for (TileId t = 0; t < machine.numTiles(); ++t) {
+        auto& st = machine.state<GraphTileState>(t);
+        const auto blocks =
+            static_cast<std::uint32_t>(st.frontier.size());
+        // The host-triggered T4 kickoff scans the bitmap.
+        machine.hostCharge(t, blocks, blocks, 0);
+        if (st.blocksInFrontier == 0)
+            continue;
+        for (std::uint32_t b = 0; b < blocks; ++b) {
+            if (st.frontier[b] != 0)
+                machine.seed(t, kT4, {b});
+        }
+        any = true;
+    }
+    return any;
+}
+
+std::vector<Word>
+GraphAppBase::gatherValues(Machine& machine) const
+{
+    const Partition& part = machine.partition();
+    std::vector<Word> out(graph_.numVertices);
+    for (VertexId v = 0; v < graph_.numVertices; ++v) {
+        const auto& st =
+            machine.state<GraphTileState>(part.vertexOwner(v));
+        out[v] = st.value[part.vertexLocal(v)];
+    }
+    return out;
+}
+
+std::vector<double>
+GraphAppBase::gatherFloats(Machine& machine) const
+{
+    std::vector<double> out(graph_.numVertices);
+    const std::vector<Word> words = gatherValues(machine);
+    for (VertexId v = 0; v < graph_.numVertices; ++v)
+        out[v] = static_cast<double>(wordToFloat(words[v]));
+    return out;
+}
+
+} // namespace dalorex

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared scaffolding of the five graph/sparse kernels: array
+ * distribution, task/channel registration, frontier seeding and result
+ * gathering.
+ */
+
+#ifndef DALOREX_APPS_GRAPH_APP_HH
+#define DALOREX_APPS_GRAPH_APP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/graph_state.hh"
+#include "apps/graph_tasks.hh"
+#include "graph/csr.hh"
+#include "sim/app.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+
+/**
+ * Queue and OQT2 sizing of the kernel programs. Defaults follow
+ * Listing 1's shape (IQ1 small, IQ3 deep) scaled to entry counts that
+ * keep per-tile queue storage in the tens of kilobytes.
+ */
+struct QueueSizing
+{
+    std::uint32_t iq1 = 32;   //!< T1 input (frontier vertices)
+    std::uint32_t iq2 = 128;  //!< T2 input (edge ranges)
+    std::uint32_t iq3 = 1024; //!< T3 input (vertex updates)
+    std::uint32_t cq1 = 128;  //!< T1 -> network
+    std::uint32_t cq2 = 512;  //!< T2 -> network (>= oqt2)
+    std::uint32_t oqt2 = 256; //!< max edges per T1->T2 message
+};
+
+/** Base class implementing the common structure of the kernels. */
+class GraphAppBase : public App
+{
+  public:
+    /** The graph must outlive the app. */
+    explicit GraphAppBase(const Csr& graph);
+
+    /** Override queue sizing before the run (ablation benches). */
+    void setQueueSizing(const QueueSizing& sizing);
+
+    void configure(Machine& machine) override;
+
+    /** Collect the distributed `value` array back into global order. */
+    std::vector<Word> gatherValues(Machine& machine) const;
+    /** Same, reinterpreting the words as floats (PageRank ranks). */
+    std::vector<double> gatherFloats(Machine& machine) const;
+
+  protected:
+    /** The kernel's T1..T4 bodies. */
+    virtual KernelTaskSet tasks() const = 0;
+    /** Whether edge values are stored (SSSP weights, SPMV values). */
+    virtual bool usesWeights() const = 0;
+    /** Whether the aux vertex array exists (PR contribution, x). */
+    virtual bool usesAux() const { return false; }
+    /** Whether the acc vertex array exists (PR accumulator). */
+    virtual bool usesAcc() const { return false; }
+    /** Kernel-specific initialization of a tile's value/aux arrays. */
+    virtual void initTile(Machine& machine, TileId tile,
+                          GraphTileState& st) = 0;
+
+    /** Mark every owned vertex active and queue all blocks to T4. */
+    void seedFullFrontier(Machine& machine);
+    /** Push one vertex into its owner's IQ1 (BFS/SSSP root). */
+    void seedRoot(Machine& machine, VertexId root);
+    /**
+     * Epoch restart (barrier mode): queue every non-empty bitmap block
+     * to T4 on every tile, charging the host-triggered scan. Returns
+     * false when no frontier bits remain anywhere (converged).
+     */
+    bool seedFrontierBlocks(Machine& machine);
+
+    const Csr& graph_;
+    QueueSizing sizing_;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_GRAPH_APP_HH

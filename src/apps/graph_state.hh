@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-tile state shared by the five graph/sparse kernels.
+ *
+ * Holds this tile's equal-sized chunks of the dataset arrays
+ * (Sec. III-A), the bitmap local frontier with its block counter
+ * (Listing 1), and T1's partial-progress registers.
+ *
+ * The CSR `ptr` array is stored as per-vertex (rowBegin, rowEnd) pairs:
+ * Listing 1 reads ptr[v] and ptr[v+1], but under low-order interleaving
+ * v and v+1 live on different tiles, so each tile keeps both bounds for
+ * its own vertices — the same information, locally complete.
+ */
+
+#ifndef DALOREX_APPS_GRAPH_STATE_HH
+#define DALOREX_APPS_GRAPH_STATE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "tile/tile.hh"
+
+namespace dalorex
+{
+
+/** Fixed task ids of the graph kernels (registration order). */
+constexpr TaskId kT1 = 0; //!< frontier vertex -> edge ranges
+constexpr TaskId kT2 = 1; //!< edge range -> per-neighbor updates
+constexpr TaskId kT3 = 2; //!< apply update at the owner of the vertex
+constexpr TaskId kT4 = 3; //!< re-explore the local bitmap frontier
+
+/** Fixed channel ids of the graph kernels. */
+constexpr ChannelId kCq1 = 0; //!< T1 -> T2 (3 flits, edge-encoded)
+constexpr ChannelId kCq2 = 1; //!< T2 -> T3 (2 flits, vertex-encoded)
+
+/** One tile's chunks plus kernel-local registers. */
+struct GraphTileState : AppTileState
+{
+    // Vertex-distributed chunks (length nodesPerChunk).
+    std::vector<Word> rowBegin; //!< global edge index of first neighbor
+    std::vector<Word> rowEnd;   //!< global edge index past the last
+    std::vector<Word> value;    //!< dist / label / rank / y
+    std::vector<Word> aux;      //!< PR contribution, SPMV x (optional)
+    std::vector<Word> acc;      //!< PR accumulator (optional)
+
+    // Edge-distributed chunks (length edgesPerChunk).
+    std::vector<Word> edgeIdx; //!< global destination vertex ids
+    std::vector<Word> edgeVal; //!< weights / matrix values (optional)
+
+    // Local bitmap frontier (Listing 1).
+    std::vector<Word> frontier;   //!< one bit per owned vertex
+    Word blocksInFrontier = 0;
+
+    // T1 partial-progress registers ("memory-stored variables").
+    bool t1NewVertex = true;
+    Word t1Begin = 0;
+    Word t1End = 0;
+
+    // Program constants (filled at load time).
+    Word oqt2 = 256;          //!< max edges per T1->T2 message
+    bool barrierMode = false; //!< epoch-synchronized frontier handling
+    Word owned = 0;           //!< vertices this tile actually owns
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_GRAPH_STATE_HH

@@ -1,0 +1,275 @@
+#include "apps/graph_tasks.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "apps/graph_state.hh"
+#include "common/bits.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+
+Word
+floatToWord(float value)
+{
+    return std::bit_cast<Word>(value);
+}
+
+float
+wordToFloat(Word word)
+{
+    return std::bit_cast<float>(word);
+}
+
+namespace
+{
+
+/** Where T1 reads the per-vertex payload it forwards to T2. */
+enum class Payload
+{
+    value, //!< dist/label (BFS, SSSP, WCC)
+    aux,   //!< contribution / x (PageRank, SPMV)
+};
+
+/**
+ * T1: pull a vertex from IQ1 and emit one CQ1 message per edge-range
+ * piece, splitting at chunk borders and at OQT2 (Listing 1). Keeps the
+ * IQ1 entry and its progress registers when CQ1 fills, resuming on the
+ * next invocation.
+ */
+template <Payload P>
+void
+t1Body(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<GraphTileState>(tile);
+    const Partition& part = machine.partition();
+
+    const Word local_v = ctx.peek()[0];
+    ctx.read(); // peek(IQ1.head) via the queue register
+
+    Word begin;
+    Word end;
+    if (st.t1NewVertex) {
+        begin = st.rowBegin[local_v];
+        end = st.rowEnd[local_v];
+        ctx.read(2);
+    } else {
+        begin = st.t1Begin;
+        end = st.t1End;
+        ctx.read(2);
+    }
+
+    const Word payload =
+        P == Payload::value ? st.value[local_v] : st.aux[local_v];
+    ctx.read();
+
+    while (ctx.cqFree(kCq1) > 0 && begin < end) {
+        // Split the message if the range crosses a chunk border or
+        // exceeds OQT2 (Listing 1).
+        Word split = static_cast<Word>(part.edgeRangeSplit(begin, end));
+        split = std::min(split, begin + st.oqt2);
+        const Word local_end =
+            part.edgeLocal(begin) + (split - begin);
+        ctx.charge(3); // border div, two mins
+        ctx.send(kCq1, begin, {local_end, payload});
+        begin = split;
+    }
+
+    st.t1Begin = begin;
+    st.t1End = end;
+    st.t1NewVertex = (begin == end);
+    ctx.charge(2);
+    if (st.t1NewVertex)
+        ctx.pop(); // whole range emitted: release the vertex
+}
+
+/** How T2 turns the forwarded payload into a per-edge update. */
+enum class T2Kind
+{
+    forward,   //!< WCC label / PageRank contribution
+    plusOne,   //!< BFS hop count
+    addWeight, //!< SSSP distance
+    mulWeight, //!< SPMV partial product
+};
+
+/**
+ * T2: walk the local edge-array slice [begin, end) and send one CQ2
+ * update per neighbor. The TSU's OQT2 guarantee means CQ2 never fills
+ * mid-invocation.
+ */
+template <T2Kind K>
+void
+t2Body(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<GraphTileState>(tile);
+    Word i = ctx.param(0);
+    const Word end = ctx.param(1);
+    Word payload = ctx.param(2);
+
+    if (K == T2Kind::plusOne) {
+        // BFS: all neighbors get the same dist+1.
+        payload += 1;
+        ctx.charge(1);
+    }
+
+    const Word count = end - i;
+    for (; i < end; ++i) {
+        const Word neigh = st.edgeIdx[i];
+        ctx.read();
+        Word out = payload;
+        if (K == T2Kind::addWeight) {
+            out += st.edgeVal[i];
+            ctx.read();
+            ctx.charge(1);
+        } else if (K == T2Kind::mulWeight) {
+            out *= st.edgeVal[i];
+            ctx.read();
+            ctx.charge(1);
+        }
+        ctx.send(kCq2, neigh, {out});
+        ctx.charge(1); // loop bookkeeping
+    }
+    ctx.countEdges(count);
+}
+
+/** How T3 applies an incoming update at the vertex owner. */
+enum class T3Kind
+{
+    minUpdate,  //!< BFS/SSSP/WCC: keep the smaller value + frontier
+    accumInt,   //!< SPMV: y[v] += update
+    accumFloat, //!< PageRank: acc[v] += update (float)
+};
+
+/**
+ * T3: apply the update to the locally owned vertex. All updates are
+ * atomic by construction — only this tile touches this datum.
+ */
+template <T3Kind K>
+void
+t3Body(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<GraphTileState>(tile);
+    const Word v = ctx.param(0);
+    const Word update = ctx.param(1);
+
+    if (K == T3Kind::accumInt) {
+        st.value[v] += update;
+        ctx.read();
+        ctx.write();
+        ctx.charge(1);
+        return;
+    }
+    if (K == T3Kind::accumFloat) {
+        st.acc[v] = floatToWord(wordToFloat(st.acc[v]) +
+                                wordToFloat(update));
+        ctx.read();
+        ctx.write();
+        ctx.charge(1);
+        return;
+    }
+
+    // minUpdate
+    const Word current = st.value[v];
+    ctx.read();
+    ctx.charge(1);
+    if (update >= current)
+        return;
+    st.value[v] = update;
+    ctx.write();
+
+    // Insert the vertex into the local bitmap frontier (Listing 1).
+    const Word blk = v >> 5;
+    const Word bits = st.frontier[blk];
+    ctx.read();
+    st.frontier[blk] = maskInBit(bits, v & 31);
+    ctx.write();
+    ctx.charge(2);
+    if (bits == 0) {
+        // Only newly active blocks are announced.
+        ++st.blocksInFrontier;
+        ctx.charge(1);
+        if (!st.barrierMode) {
+            // Barrierless: tell T4 to re-explore this block now. In
+            // epoch mode the host triggers T4 after the global idle
+            // signal instead (Sec. III-C).
+            ctx.enqueueLocal(kT4, {blk});
+        }
+    }
+}
+
+/**
+ * T4: drain queued frontier blocks into IQ1 (Listing 1). Unlike the
+ * listing we write partially drained bitmap blocks back, so no vertex
+ * is pushed twice after an IQ1-full early exit.
+ */
+void
+t4Body(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<GraphTileState>(tile);
+    (void)machine;
+
+    while (st.blocksInFrontier > 0 && ctx.iqFree(kT1) > 0) {
+        if (tile.iqs[kT4].empty())
+            break; // defensive: counter/queue divergence is a bug
+        const Word blk = ctx.peek()[0];
+        ctx.read();
+        Word bits = st.frontier[blk];
+        ctx.read();
+        const Word base = blk << 5;
+        while (bits != 0 && ctx.iqFree(kT1) > 0) {
+            const unsigned idx = searchMsb(bits);
+            bits = maskOutBit(bits, idx);
+            ctx.charge(2);
+            ctx.enqueueLocal(kT1, {base + idx});
+        }
+        st.frontier[blk] = bits;
+        ctx.write();
+        if (bits == 0) {
+            ctx.pop();
+            --st.blocksInFrontier;
+            ctx.charge(1);
+        } else {
+            break; // IQ1 filled mid-block; resume here later
+        }
+    }
+}
+
+} // namespace
+
+KernelTaskSet
+bfsTasks()
+{
+    return {&t1Body<Payload::value>, &t2Body<T2Kind::plusOne>,
+            &t3Body<T3Kind::minUpdate>, &t4Body};
+}
+
+KernelTaskSet
+ssspTasks()
+{
+    return {&t1Body<Payload::value>, &t2Body<T2Kind::addWeight>,
+            &t3Body<T3Kind::minUpdate>, &t4Body};
+}
+
+KernelTaskSet
+wccTasks()
+{
+    return {&t1Body<Payload::value>, &t2Body<T2Kind::forward>,
+            &t3Body<T3Kind::minUpdate>, &t4Body};
+}
+
+KernelTaskSet
+pagerankTasks()
+{
+    return {&t1Body<Payload::aux>, &t2Body<T2Kind::forward>,
+            &t3Body<T3Kind::accumFloat>, &t4Body};
+}
+
+KernelTaskSet
+spmvTasks()
+{
+    return {&t1Body<Payload::aux>, &t2Body<T2Kind::mulWeight>,
+            &t3Body<T3Kind::accumInt>, &t4Body};
+}
+
+} // namespace dalorex

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The T1..T4 task bodies of the graph kernels, following Listing 1.
+ *
+ * All kernels share T1 (explore a frontier vertex, emit edge-range
+ * messages split at chunk borders and at OQT2) and T4 (drain the local
+ * bitmap frontier into IQ1). T2 and T3 differ per kernel:
+ *
+ *   kernel    T2 per edge                 T3 at vertex owner
+ *   BFS       forward dist+1              min-update + frontier insert
+ *   SSSP      dist + edge weight          min-update + frontier insert
+ *   WCC       forward label               min-update + frontier insert
+ *   PageRank  forward contribution        float accumulate
+ *   SPMV      value * x[col]              integer accumulate
+ */
+
+#ifndef DALOREX_APPS_GRAPH_TASKS_HH
+#define DALOREX_APPS_GRAPH_TASKS_HH
+
+#include "tile/task.hh"
+
+namespace dalorex
+{
+
+/** The four task bodies of one kernel. */
+struct KernelTaskSet
+{
+    TaskFn t1;
+    TaskFn t2;
+    TaskFn t3;
+    TaskFn t4;
+};
+
+KernelTaskSet bfsTasks();
+KernelTaskSet ssspTasks();
+KernelTaskSet wccTasks();
+KernelTaskSet pagerankTasks();
+KernelTaskSet spmvTasks();
+
+/** Reinterpret a float as a machine word (flit payloads). */
+Word floatToWord(float value);
+/** Reinterpret a machine word as a float. */
+float wordToFloat(Word word);
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_GRAPH_TASKS_HH

@@ -1,0 +1,134 @@
+#include "apps/kernels.hh"
+
+#include "apps/bfs.hh"
+#include "apps/pagerank.hh"
+#include "apps/spmv.hh"
+#include "apps/sssp.hh"
+#include "apps/wcc.hh"
+#include "common/logging.hh"
+#include "graph/reference.hh"
+
+namespace dalorex
+{
+
+const char*
+toString(Kernel kernel)
+{
+    switch (kernel) {
+      case Kernel::bfs:
+        return "BFS";
+      case Kernel::sssp:
+        return "SSSP";
+      case Kernel::wcc:
+        return "WCC";
+      case Kernel::pagerank:
+        return "PageRank";
+      case Kernel::spmv:
+        return "SPMV";
+    }
+    return "?";
+}
+
+std::vector<Kernel>
+allKernels()
+{
+    return {Kernel::bfs, Kernel::wcc, Kernel::pagerank, Kernel::sssp,
+            Kernel::spmv};
+}
+
+std::vector<Kernel>
+fig5Kernels()
+{
+    return {Kernel::bfs, Kernel::wcc, Kernel::pagerank, Kernel::sssp};
+}
+
+VertexId
+pickRoot(const Csr& graph)
+{
+    for (VertexId v = 0; v < graph.numVertices; ++v) {
+        if (graph.degree(v) > 0)
+            return v;
+    }
+    panic("graph has no edges: no usable search root");
+}
+
+KernelSetup
+makeKernelSetup(Kernel kernel, const Csr& base, std::uint64_t seed)
+{
+    KernelSetup setup;
+    setup.kernel = kernel;
+    Rng rng(seed);
+
+    switch (kernel) {
+      case Kernel::bfs:
+        setup.graph = base;
+        setup.root = pickRoot(setup.graph);
+        break;
+      case Kernel::sssp:
+        setup.graph = base;
+        addRandomWeights(setup.graph, rng, 1, 64);
+        setup.root = pickRoot(setup.graph);
+        break;
+      case Kernel::wcc:
+        setup.graph = symmetrize(base);
+        break;
+      case Kernel::pagerank:
+        setup.graph = base;
+        break;
+      case Kernel::spmv:
+        setup.graph = base;
+        addRandomWeights(setup.graph, rng, 1, 16);
+        setup.x.resize(setup.graph.numVertices);
+        for (auto& xi : setup.x)
+            xi = static_cast<Word>(rng.range(0, 255));
+        break;
+    }
+    return setup;
+}
+
+std::unique_ptr<GraphAppBase>
+KernelSetup::makeApp() const
+{
+    switch (kernel) {
+      case Kernel::bfs:
+        return std::make_unique<BfsApp>(graph, root);
+      case Kernel::sssp:
+        return std::make_unique<SsspApp>(graph, root);
+      case Kernel::wcc:
+        return std::make_unique<WccApp>(graph);
+      case Kernel::pagerank:
+        return std::make_unique<PageRankApp>(graph, damping,
+                                             iterations);
+      case Kernel::spmv:
+        return std::make_unique<SpmvApp>(graph, x);
+    }
+    panic("unreachable kernel");
+}
+
+std::vector<Word>
+KernelSetup::referenceWords() const
+{
+    switch (kernel) {
+      case Kernel::bfs:
+        return referenceBfs(graph, root);
+      case Kernel::sssp:
+        return referenceSssp(graph, root);
+      case Kernel::wcc:
+        return referenceWcc(graph);
+      case Kernel::spmv:
+        return referenceSpmv(graph, x);
+      case Kernel::pagerank:
+        panic("PageRank reference is float; use referenceFloats()");
+    }
+    panic("unreachable kernel");
+}
+
+std::vector<double>
+KernelSetup::referenceFloats() const
+{
+    panic_if(kernel != Kernel::pagerank,
+             "referenceFloats is PageRank-only");
+    return referencePageRank(graph, damping, iterations);
+}
+
+} // namespace dalorex

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Kernel setup factory: adapts a base dataset for each of the five
+ * evaluated kernels (weights for SSSP/SPMV, symmetrization for WCC, an
+ * input vector for SPMV), owns the adapted graph, builds the App, and
+ * computes the sequential reference result for validation.
+ */
+
+#ifndef DALOREX_APPS_KERNELS_HH
+#define DALOREX_APPS_KERNELS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "sim/app.hh"
+
+namespace dalorex
+{
+
+class GraphAppBase;
+
+/** The five kernels of the paper's evaluation (Sec. IV). */
+enum class Kernel
+{
+    bfs,
+    sssp,
+    wcc,
+    pagerank,
+    spmv,
+};
+
+const char* toString(Kernel kernel);
+
+/** All five, in the paper's Fig. 7/8/9 order. */
+std::vector<Kernel> allKernels();
+
+/** The Fig. 5 subset (BFS, WCC, PageRank, SSSP). */
+std::vector<Kernel> fig5Kernels();
+
+/** A kernel instance bound to its adapted dataset. */
+struct KernelSetup
+{
+    Kernel kernel;
+    Csr graph;           //!< adapted copy (weights/symmetrized)
+    std::vector<Word> x; //!< SPMV input vector (else empty)
+    VertexId root = 0;   //!< BFS/SSSP source
+    double damping = 0.85;
+    unsigned iterations = 10; //!< PageRank epochs
+
+    /** Build the App; the returned app references this->graph. */
+    std::unique_ptr<GraphAppBase> makeApp() const;
+
+    /** Sequential reference for integer-valued kernels. */
+    std::vector<Word> referenceWords() const;
+    /** Sequential reference for PageRank. */
+    std::vector<double> referenceFloats() const;
+};
+
+/**
+ * Adapt `base` for `kernel`:
+ *  - BFS: as-is; root = first vertex with out-degree > 0;
+ *  - SSSP: + uniform random weights in [1, 64];
+ *  - WCC: symmetrized;
+ *  - PageRank: as-is, damping 0.85, 10 iterations;
+ *  - SPMV: + values in [1, 16], x in [0, 255].
+ */
+KernelSetup makeKernelSetup(Kernel kernel, const Csr& base,
+                            std::uint64_t seed = 7);
+
+/** First vertex with out-degree > 0 (deterministic search root). */
+VertexId pickRoot(const Csr& graph);
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_KERNELS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PageRank in the Dalorex task model. PageRank "necessitates per-epoch
+ * synchronization" (Fig. 5 caption): each epoch pushes every vertex's
+ * contribution rank/outdeg to its neighbors; the host finalizes ranks
+ * when the chip goes idle and triggers the next epoch.
+ */
+
+#ifndef DALOREX_APPS_PAGERANK_HH
+#define DALOREX_APPS_PAGERANK_HH
+
+#include "apps/graph_app.hh"
+
+namespace dalorex
+{
+
+/** Push-style synchronous PageRank over float32 flit payloads. */
+class PageRankApp : public GraphAppBase
+{
+  public:
+    /**
+     * @param damping    The damping factor d (paper default 0.85).
+     * @param iterations Synchronous epochs to run (upper bound when
+     *                   a convergence threshold is set).
+     */
+    PageRankApp(const Csr& graph, double damping = 0.85,
+                unsigned iterations = 10);
+
+    /**
+     * Stop as soon as the largest per-vertex rank change of an epoch
+     * falls below `epsilon` (checked by the host at the idle signal,
+     * the natural use of the paper's per-epoch synchronization).
+     * `iterations` remains the hard upper bound.
+     */
+    void setConvergence(double epsilon) { epsilon_ = epsilon; }
+
+    /** Epochs actually executed (after run). */
+    unsigned epochsRun() const { return completed_; }
+    /** Largest rank change of the last finalized epoch. */
+    double lastDelta() const { return lastDelta_; }
+
+    const char* name() const override { return "PageRank"; }
+    bool needsBarrier() const override { return true; }
+    void start(Machine& machine) override;
+    bool startEpoch(Machine& machine) override;
+
+  protected:
+    KernelTaskSet tasks() const override { return pagerankTasks(); }
+    bool usesWeights() const override { return false; }
+    bool usesAux() const override { return true; }
+    bool usesAcc() const override { return true; }
+    void initTile(Machine& machine, TileId tile,
+                  GraphTileState& st) override;
+
+  private:
+    /** rank' = (1-d)/V + d*acc for every owned vertex; reset acc. */
+    void finalizeEpoch(Machine& machine);
+
+    double damping_;
+    unsigned iterations_;
+    unsigned completed_ = 0;
+    double epsilon_ = 0.0; //!< 0 = fixed iteration count
+    double lastDelta_ = 0.0;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_PAGERANK_HH

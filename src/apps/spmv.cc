@@ -1,0 +1,33 @@
+#include "apps/spmv.hh"
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+SpmvApp::SpmvApp(const Csr& matrix, const std::vector<Word>& x)
+    : GraphAppBase(matrix), x_(x)
+{
+    fatal_if(!matrix.weighted(), "SPMV needs matrix values");
+    fatal_if(x.size() != matrix.numVertices,
+             "x dimension does not match the matrix");
+}
+
+void
+SpmvApp::initTile(Machine& machine, TileId tile, GraphTileState& st)
+{
+    const Partition& part = machine.partition();
+    for (std::uint32_t l = 0; l < st.owned; ++l) {
+        st.value[l] = 0; // y accumulator
+        st.aux[l] = x_[part.vertexGlobal(tile, l)];
+    }
+}
+
+void
+SpmvApp::start(Machine& machine)
+{
+    // Every column is processed exactly once: one full frontier pass.
+    seedFullFrontier(machine);
+}
+
+} // namespace dalorex

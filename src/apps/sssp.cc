@@ -1,0 +1,40 @@
+#include "apps/sssp.hh"
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+SsspApp::SsspApp(const Csr& graph, VertexId root)
+    : GraphAppBase(graph), root_(root)
+{
+    fatal_if(root >= graph.numVertices, "SSSP root out of range");
+    fatal_if(!graph.weighted(), "SSSP requires a weighted graph");
+}
+
+void
+SsspApp::initTile(Machine& machine, TileId tile, GraphTileState& st)
+{
+    (void)machine;
+    (void)tile;
+    for (auto& v : st.value)
+        v = infDist;
+}
+
+void
+SsspApp::start(Machine& machine)
+{
+    const Partition& part = machine.partition();
+    auto& st =
+        machine.state<GraphTileState>(part.vertexOwner(root_));
+    st.value[part.vertexLocal(root_)] = 0;
+    seedRoot(machine, root_);
+}
+
+bool
+SsspApp::startEpoch(Machine& machine)
+{
+    return seedFrontierBlocks(machine);
+}
+
+} // namespace dalorex

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Single-Source Shortest Path in the Dalorex task model (Listing 1):
+ * weighted distance from a root vertex (Sec. IV).
+ */
+
+#ifndef DALOREX_APPS_SSSP_HH
+#define DALOREX_APPS_SSSP_HH
+
+#include "apps/graph_app.hh"
+
+namespace dalorex
+{
+
+/** SSSP: label-correcting distance propagation over edge weights. */
+class SsspApp : public GraphAppBase
+{
+  public:
+    /** The graph must carry positive edge weights. */
+    SsspApp(const Csr& graph, VertexId root);
+
+    const char* name() const override { return "SSSP"; }
+    void start(Machine& machine) override;
+    bool startEpoch(Machine& machine) override;
+
+  protected:
+    KernelTaskSet tasks() const override { return ssspTasks(); }
+    bool usesWeights() const override { return true; }
+    void initTile(Machine& machine, TileId tile,
+                  GraphTileState& st) override;
+
+  private:
+    VertexId root_;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_SSSP_HH

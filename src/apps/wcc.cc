@@ -1,0 +1,30 @@
+#include "apps/wcc.hh"
+
+namespace dalorex
+{
+
+WccApp::WccApp(const Csr& graph) : GraphAppBase(graph) {}
+
+void
+WccApp::initTile(Machine& machine, TileId tile, GraphTileState& st)
+{
+    // Initial color: the vertex's own global id.
+    const Partition& part = machine.partition();
+    for (std::uint32_t l = 0; l < st.owned; ++l)
+        st.value[l] = part.vertexGlobal(tile, l);
+}
+
+void
+WccApp::start(Machine& machine)
+{
+    // Every vertex starts active, pushing its label to its neighbors.
+    seedFullFrontier(machine);
+}
+
+bool
+WccApp::startEpoch(Machine& machine)
+{
+    return seedFrontierBlocks(machine);
+}
+
+} // namespace dalorex

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Weakly Connected Components in the Dalorex task model, implemented
+ * with graph coloring / min-label propagation as in the paper's cited
+ * approach [57] (Sec. IV).
+ */
+
+#ifndef DALOREX_APPS_WCC_HH
+#define DALOREX_APPS_WCC_HH
+
+#include "apps/graph_app.hh"
+
+namespace dalorex
+{
+
+/**
+ * WCC: every vertex converges to the minimum vertex id of its weakly
+ * connected component. Pass a symmetrized graph (weak connectivity
+ * means reachability in either direction).
+ */
+class WccApp : public GraphAppBase
+{
+  public:
+    explicit WccApp(const Csr& graph);
+
+    const char* name() const override { return "WCC"; }
+    void start(Machine& machine) override;
+    bool startEpoch(Machine& machine) override;
+
+  protected:
+    KernelTaskSet tasks() const override { return wccTasks(); }
+    bool usesWeights() const override { return false; }
+    void initTile(Machine& machine, TileId tile,
+                  GraphTileState& st) override;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_WCC_HH

@@ -1,0 +1,363 @@
+#include "baseline/tesseract.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dalorex
+{
+namespace baseline
+{
+
+namespace
+{
+
+/** Contiguous vertex-block ownership (Tesseract's distribution). */
+struct VertexBlocks
+{
+    std::uint32_t chunk;
+
+    VertexBlocks(VertexId num_vertices, std::uint32_t cores)
+        : chunk(static_cast<std::uint32_t>(
+              divCeil(num_vertices, cores)))
+    {
+    }
+
+    std::uint32_t owner(VertexId v) const { return v / chunk; }
+};
+
+/** One buffered remote function call. */
+struct RemoteCall
+{
+    VertexId dst;
+    Word arg;
+};
+
+/** Shared per-epoch accounting helpers. */
+class EpochRunner
+{
+  public:
+    EpochRunner(const Csr& graph, const TesseractConfig& config,
+                TesseractResult& result)
+        : graph_(graph), config_(config), result_(result),
+          blocks_(graph.numVertices, config.numCores()),
+          compute_(config.numCores(), 0),
+          apply_(config.numCores(), 0),
+          cubeOut_(config.numCubes, 0), cubeIn_(config.numCubes, 0)
+    {
+        result_.coreBusyCycles.assign(config.numCores(), 0);
+    }
+
+    std::uint32_t
+    cubeOf(std::uint32_t core) const
+    {
+        return core / config_.vaultsPerCube;
+    }
+
+    void
+    beginEpoch()
+    {
+        std::fill(compute_.begin(), compute_.end(), 0);
+        std::fill(apply_.begin(), apply_.end(), 0);
+        std::fill(cubeOut_.begin(), cubeOut_.end(), 0);
+        std::fill(cubeIn_.begin(), cubeIn_.end(), 0);
+        calls_.clear();
+    }
+
+    /**
+     * Charge the compute phase of one active vertex and buffer one
+     * remote call per out-edge carrying `args[i]`.
+     */
+    void
+    processVertex(VertexId v, const std::vector<Word>& args)
+    {
+        const std::uint32_t core = blocks_.owner(v);
+        const EdgeId begin = graph_.rowPtr[v];
+        const EdgeId end = graph_.rowPtr[v + 1];
+        const auto deg = static_cast<std::uint32_t>(end - begin);
+
+        const bool lc = config_.largeCache;
+        const std::uint32_t vertex_read =
+            lc ? config_.cacheVertexReadCycles
+               : config_.dramVertexReadCycles;
+        const std::uint32_t edge_stream =
+            lc ? config_.cacheEdgeStreamCycles
+               : config_.dramEdgeStreamCycles;
+
+        // Per edge: stream the (dst, weight) pair plus ~8 cycles of
+        // remote-call marshalling on the in-order core (argument
+        // packing, address translation, message enqueue).
+        compute_[core] += vertex_read +
+                          std::uint64_t(deg) * (edge_stream + 8);
+        countMem(2 + std::uint64_t(deg) * 2);
+        result_.coreOps += 4 + std::uint64_t(deg) * 8;
+        result_.edgesProcessed += deg;
+
+        for (EdgeId i = begin; i < end; ++i) {
+            const VertexId dst = graph_.colIdx[i];
+            calls_.push_back({dst, args[i - begin]});
+            ++result_.remoteCalls;
+            const std::uint32_t dst_core = blocks_.owner(dst);
+            if (cubeOf(core) != cubeOf(dst_core)) {
+                result_.serdesWords += config_.wordsPerCall;
+                cubeOut_[cubeOf(core)] += config_.wordsPerCall;
+                cubeIn_[cubeOf(dst_core)] += config_.wordsPerCall;
+            } else {
+                result_.intraCubeWords += config_.wordsPerCall;
+            }
+        }
+    }
+
+    /** Charge the apply phase of one received remote call. */
+    void
+    chargeApply(VertexId dst)
+    {
+        const std::uint32_t core = blocks_.owner(dst);
+        const std::uint32_t rmw = config_.largeCache
+                                      ? config_.cacheRmwCycles
+                                      : config_.dramRmwCycles;
+        apply_[core] += config_.interruptCycles + rmw + 3;
+        countMem(2);
+        result_.coreOps += 3;
+    }
+
+    /** Close the epoch: max core time + link serialization + barrier. */
+    void
+    endEpoch()
+    {
+        Cycle worst = 0;
+        for (std::uint32_t c = 0; c < compute_.size(); ++c) {
+            const Cycle busy = compute_[c] + apply_[c];
+            result_.coreBusyCycles[c] += busy;
+            worst = std::max(worst, busy);
+        }
+        Cycle link = 0;
+        for (std::uint32_t q = 0; q < config_.numCubes; ++q) {
+            const auto words =
+                std::max(cubeOut_[q], cubeIn_[q]);
+            link = std::max(
+                link, static_cast<Cycle>(
+                          static_cast<double>(words) /
+                          config_.serdesWordsPerCycle));
+        }
+        result_.cycles += worst + link + config_.barrierCycles;
+        ++result_.epochs;
+    }
+
+    std::vector<RemoteCall>& calls() { return calls_; }
+
+  private:
+    void
+    countMem(std::uint64_t words)
+    {
+        if (config_.largeCache)
+            result_.cacheAccesses += words;
+        else
+            result_.dramAccesses += words;
+    }
+
+    const Csr& graph_;
+    const TesseractConfig& config_;
+    TesseractResult& result_;
+    VertexBlocks blocks_;
+    std::vector<Cycle> compute_;
+    std::vector<Cycle> apply_;
+    std::vector<std::uint64_t> cubeOut_;
+    std::vector<std::uint64_t> cubeIn_;
+    std::vector<RemoteCall> calls_;
+};
+
+/** BFS/SSSP/WCC: min-update propagation in BSP epochs. */
+TesseractResult
+runMinUpdate(const KernelSetup& setup, const TesseractConfig& config)
+{
+    const Csr& graph = setup.graph;
+    TesseractResult result;
+    EpochRunner runner(graph, config, result);
+
+    result.values.assign(graph.numVertices, infDist);
+    std::vector<VertexId> frontier;
+    if (setup.kernel == Kernel::wcc) {
+        for (VertexId v = 0; v < graph.numVertices; ++v)
+            result.values[v] = v;
+        frontier.resize(graph.numVertices);
+        for (VertexId v = 0; v < graph.numVertices; ++v)
+            frontier[v] = v;
+    } else {
+        result.values[setup.root] = 0;
+        frontier.push_back(setup.root);
+    }
+
+    std::vector<Word> args;
+    std::vector<std::uint8_t> updated(graph.numVertices, 0);
+    while (!frontier.empty()) {
+        runner.beginEpoch();
+        for (const VertexId v : frontier) {
+            const EdgeId begin = graph.rowPtr[v];
+            const EdgeId end = graph.rowPtr[v + 1];
+            args.clear();
+            for (EdgeId i = begin; i < end; ++i) {
+                switch (setup.kernel) {
+                  case Kernel::bfs:
+                    args.push_back(result.values[v] + 1);
+                    break;
+                  case Kernel::sssp:
+                    args.push_back(result.values[v] +
+                                   graph.weights[i]);
+                    break;
+                  default: // WCC forwards the label
+                    args.push_back(result.values[v]);
+                    break;
+                }
+            }
+            runner.processVertex(v, args);
+        }
+        std::vector<VertexId> next;
+        for (const RemoteCall& call : runner.calls()) {
+            runner.chargeApply(call.dst);
+            if (call.arg < result.values[call.dst]) {
+                result.values[call.dst] = call.arg;
+                if (!updated[call.dst]) {
+                    updated[call.dst] = 1;
+                    next.push_back(call.dst);
+                }
+            }
+        }
+        for (const VertexId v : next)
+            updated[v] = 0;
+        std::sort(next.begin(), next.end());
+        frontier = std::move(next);
+        runner.endEpoch();
+    }
+    return result;
+}
+
+/** PageRank: every vertex active each of `iterations` epochs. */
+TesseractResult
+runPageRank(const KernelSetup& setup, const TesseractConfig& config)
+{
+    const Csr& graph = setup.graph;
+    TesseractResult result;
+    EpochRunner runner(graph, config, result);
+
+    const auto n = static_cast<double>(graph.numVertices);
+    std::vector<double> rank(graph.numVertices, 1.0 / n);
+    std::vector<double> acc(graph.numVertices, 0.0);
+    std::vector<Word> args;
+
+    for (unsigned iter = 0; iter < setup.iterations; ++iter) {
+        runner.beginEpoch();
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (VertexId v = 0; v < graph.numVertices; ++v) {
+            const EdgeId deg = graph.degree(v);
+            if (deg == 0)
+                continue;
+            const auto contrib = static_cast<float>(
+                rank[v] / static_cast<double>(deg));
+            args.assign(deg, std::bit_cast<Word>(contrib));
+            runner.processVertex(v, args);
+        }
+        for (const RemoteCall& call : runner.calls()) {
+            runner.chargeApply(call.dst);
+            acc[call.dst] += static_cast<double>(
+                std::bit_cast<float>(call.arg));
+        }
+        for (VertexId v = 0; v < graph.numVertices; ++v)
+            rank[v] = (1.0 - setup.damping) / n +
+                      setup.damping * acc[v];
+        // Rank epilogue (2 accesses + few ops per vertex per core).
+        result.coreOps += graph.numVertices * 4ull;
+        runner.endEpoch();
+    }
+    result.floatValues = std::move(rank);
+    return result;
+}
+
+/** SPMV: one push epoch over all columns. */
+TesseractResult
+runSpmv(const KernelSetup& setup, const TesseractConfig& config)
+{
+    const Csr& graph = setup.graph;
+    TesseractResult result;
+    EpochRunner runner(graph, config, result);
+
+    result.values.assign(graph.numVertices, 0);
+    std::vector<Word> args;
+    runner.beginEpoch();
+    for (VertexId col = 0; col < graph.numVertices; ++col) {
+        const EdgeId begin = graph.rowPtr[col];
+        const EdgeId end = graph.rowPtr[col + 1];
+        if (begin == end)
+            continue;
+        args.clear();
+        for (EdgeId i = begin; i < end; ++i)
+            args.push_back(graph.weights[i] * setup.x[col]);
+        runner.processVertex(col, args);
+    }
+    for (const RemoteCall& call : runner.calls()) {
+        runner.chargeApply(call.dst);
+        result.values[call.dst] += call.arg;
+    }
+    runner.endEpoch();
+    return result;
+}
+
+} // namespace
+
+TesseractResult
+runTesseract(const KernelSetup& setup, const TesseractConfig& config)
+{
+    fatal_if(config.numCores() == 0, "Tesseract needs cores");
+    switch (setup.kernel) {
+      case Kernel::bfs:
+      case Kernel::sssp:
+      case Kernel::wcc:
+        return runMinUpdate(setup, config);
+      case Kernel::pagerank:
+        return runPageRank(setup, config);
+      case Kernel::spmv:
+        return runSpmv(setup, config);
+    }
+    panic("unreachable kernel");
+}
+
+double
+TesseractResult::energyJ(const TesseractConfig& config,
+                         const TechParams& tech) const
+{
+    const double pj = 1.0e-12;
+    const double seconds =
+        static_cast<double>(cycles) / tech.freqHz;
+
+    // Memory: DRAM (or LC cache) dynamic plus DRAM background power;
+    // the LC variant trades the DRAM background for cache leakage.
+    double memory =
+        static_cast<double>(dramAccesses) * tech.dramAccessPjPerWord *
+            pj +
+        static_cast<double>(cacheAccesses) *
+            (tech.cacheReadPj + tech.cacheWritePj) * 0.5 * pj;
+    if (config.largeCache) {
+        memory +=
+            tech.cacheLeakWPerCore * config.numCores() * seconds;
+    } else {
+        memory +=
+            tech.dramBackgroundWPerCube * config.numCubes * seconds;
+    }
+
+    // Logic: core dynamic + leakage.
+    const double logic =
+        static_cast<double>(coreOps) * tech.puDynPjPerOp * pj +
+        tech.puLeakW * config.numCores() * seconds;
+
+    // Network: SerDes crossings + intra-cube crossbar.
+    const double network =
+        static_cast<double>(serdesWords) * tech.serdesPjPerWord * pj +
+        static_cast<double>(intraCubeWords) * tech.routerPjPerFlit *
+            pj;
+
+    return memory + logic + network;
+}
+
+} // namespace baseline
+} // namespace dalorex

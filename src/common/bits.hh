@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef DALOREX_COMMON_BITS_HH
+#define DALOREX_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+/** True iff x is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); requires x > 0. */
+constexpr unsigned
+log2Floor(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** ceil(log2(x)); requires x > 0. log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(std::uint64_t x)
+{
+    return x <= 1 ? 0u : log2Floor(x - 1) + 1;
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Index (from bit 0) of the most significant set bit; requires x != 0. */
+inline unsigned
+searchMsb(std::uint32_t x)
+{
+    panic_if(x == 0, "searchMsb on zero word");
+    return 31u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Set bit `bit` in `word` (Listing 1's mask_in_bit). */
+constexpr std::uint32_t
+maskInBit(std::uint32_t word, unsigned bit)
+{
+    return word | (std::uint32_t(1) << bit);
+}
+
+/** Clear bit `bit` in `word` (Listing 1's mask_out_bit). */
+constexpr std::uint32_t
+maskOutBit(std::uint32_t word, unsigned bit)
+{
+    return word & ~(std::uint32_t(1) << bit);
+}
+
+} // namespace dalorex
+
+#endif // DALOREX_COMMON_BITS_HH

@@ -1,0 +1,116 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        panic_if(x <= 0.0, "geomean requires positive values, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+giniCoefficient(std::vector<double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const auto n = static_cast<double>(xs.size());
+    double cum_weighted = 0.0;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        cum_weighted += static_cast<double>(i + 1) * xs[i];
+        cum += xs[i];
+    }
+    if (cum == 0.0)
+        return 0.0;
+    return (2.0 * cum_weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+double
+imbalanceFactor(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 1.0;
+    const double m = mean(xs);
+    if (m == 0.0)
+        return 1.0;
+    return *std::max_element(xs.begin(), xs.end()) / m;
+}
+
+Histogram::Histogram(std::size_t num_bins) : bins_(num_bins, 0)
+{
+    panic_if(num_bins == 0, "Histogram needs at least one bin");
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    if (value < bins_.size())
+        ++bins_[value];
+    else
+        ++overflow_;
+    ++total_;
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t bin) const
+{
+    panic_if(bin >= bins_.size(), "histogram bin ", bin, " out of range");
+    return bins_[bin];
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    panic_if(fraction < 0.0 || fraction > 1.0,
+             "percentile fraction out of [0,1]: ", fraction);
+    if (total_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t bin = 0; bin < bins_.size(); ++bin) {
+        seen += bins_[bin];
+        if (seen >= target)
+            return bin;
+    }
+    return bins_.size(); // in the overflow bin
+}
+
+} // namespace dalorex

@@ -1,0 +1,123 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(), "Table row has ",
+             cells.size(), " cells, expected ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << row[c]
+                << std::string(widths[c] - row[c].size(), ' ');
+            oss << (c + 1 < row.size() ? "  " : "");
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    oss << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+std::string
+Table::csvEscape(const std::string& cell)
+{
+    const bool needs_quote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << csvEscape(row[c]);
+            if (c + 1 < row.size())
+                oss << ',';
+        }
+        oss << '\n';
+    };
+    emit_row(headers_);
+    for (const auto& row : rows_)
+        emit_row(row);
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    const std::string text = toText();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+void
+Table::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot open CSV output file: ", path);
+    out << toCsv();
+    fatal_if(!out, "error writing CSV output file: ", path);
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::sci(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+} // namespace dalorex

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Console table and CSV emission for benchmark harnesses.
+ *
+ * Every figure-reproduction bench prints an aligned human-readable table
+ * (the "rows/series the paper reports") and can mirror it to CSV for
+ * plotting.
+ */
+
+#ifndef DALOREX_COMMON_TABLE_HH
+#define DALOREX_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dalorex
+{
+
+/** A simple aligned text table with an optional CSV mirror. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render aligned text (headers, rule, rows). */
+    std::string toText() const;
+
+    /** Render RFC-4180 CSV (quotes cells containing , " or newline). */
+    std::string toCsv() const;
+
+    /** Print the text rendering to stdout. */
+    void print() const;
+
+    /** Write the CSV rendering to `path`; fatal() on I/O error. */
+    void writeCsv(const std::string& path) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+    /** Format helper: fixed-precision double. */
+    static std::string fmt(double value, int precision = 2);
+    /** Format helper: scientific notation. */
+    static std::string sci(double value, int precision = 2);
+
+  private:
+    static std::string csvEscape(const std::string& cell);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_COMMON_TABLE_HH

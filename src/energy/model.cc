@@ -1,0 +1,151 @@
+#include "energy/model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+namespace
+{
+
+double
+pct(double part, double total)
+{
+    return total <= 0.0 ? 0.0 : 100.0 * part / total;
+}
+
+} // namespace
+
+double
+EnergyBreakdown::logicPct() const
+{
+    return pct(logicJ, totalJ());
+}
+
+double
+EnergyBreakdown::memoryPct() const
+{
+    return pct(memoryJ, totalJ());
+}
+
+double
+EnergyBreakdown::networkPct() const
+{
+    return pct(networkJ, totalJ());
+}
+
+TileGeometry
+tileGeometry(std::uint64_t scratchpad_bytes, NocTopology topology,
+             const TechParams& tech)
+{
+    TileGeometry geo;
+    const double megabits =
+        static_cast<double>(scratchpad_bytes) * 8.0 / 1.0e6;
+    geo.sramMm2 = megabits / tech.sramMbPerMm2;
+    geo.puMm2 = tech.puAreaMm2;
+    switch (topology) {
+      case NocTopology::mesh:
+        geo.routerMm2 = tech.meshRouterAreaMm2;
+        break;
+      case NocTopology::torus:
+        geo.routerMm2 = tech.torusRouterAreaMm2;
+        break;
+      case NocTopology::torusRuche:
+        geo.routerMm2 =
+            tech.torusRouterAreaMm2 + tech.rucheExtraAreaMm2;
+        break;
+    }
+    geo.totalMm2 = geo.sramMm2 + geo.puMm2 + geo.routerMm2;
+    geo.sideMm = std::sqrt(geo.totalMm2);
+    return geo;
+}
+
+double
+chipAreaMm2(const MachineConfig& config,
+            std::uint64_t scratchpad_bytes_per_tile,
+            const TechParams& tech)
+{
+    const TileGeometry geo = tileGeometry(scratchpad_bytes_per_tile,
+                                          config.topology, tech);
+    return geo.totalMm2 * config.numTiles();
+}
+
+double
+runSeconds(const RunStats& stats, const TechParams& tech)
+{
+    return static_cast<double>(stats.cycles) / tech.freqHz;
+}
+
+double
+avgMemoryBandwidth(const RunStats& stats, const TechParams& tech)
+{
+    const double seconds = runSeconds(stats, tech);
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(stats.memAccesses()) * wordBytes /
+           seconds;
+}
+
+EnergyBreakdown
+dalorexEnergy(const RunStats& stats, const MachineConfig& config,
+              const TechParams& tech)
+{
+    panic_if(stats.cycles == 0, "energy of an empty run");
+    const double seconds = runSeconds(stats, tech);
+    const double pj = 1.0e-12;
+
+    EnergyBreakdown e;
+
+    // --- logic -------------------------------------------------------
+    const double pu_dynamic =
+        static_cast<double>(stats.puOps) * tech.puDynPjPerOp * pj;
+    const double tsu_dynamic = static_cast<double>(stats.invocations) *
+                               tech.tsuPjPerInvocation * pj;
+    const double pu_leak =
+        tech.puLeakW * config.numTiles() * seconds;
+    e.logicJ = pu_dynamic + tsu_dynamic + pu_leak;
+
+    // --- memory ------------------------------------------------------
+    // Leakage follows the *provisioned* capacity: a fabricated tile
+    // leaks over its whole scratchpad even if the dataset chunk is
+    // smaller (Fig. 5 provisions 4.2MB tiles; Fig. 6 sizes tiles to
+    // fit, config.scratchpadProvisionBytes == 0).
+    const std::uint64_t reads = stats.sramReads + stats.tsuReads;
+    const std::uint64_t writes = stats.sramWrites + stats.tsuWrites;
+    const double sram_dynamic =
+        (static_cast<double>(reads) * tech.sramReadPj +
+         static_cast<double>(writes) * tech.sramWritePj) *
+        pj;
+    const std::uint64_t provisioned_total =
+        std::max(stats.scratchpadBytesTotal,
+                 config.scratchpadProvisionBytes * config.numTiles());
+    const double macros32k =
+        static_cast<double>(provisioned_total) / (32.0 * 1024);
+    const double sram_leak =
+        macros32k * tech.sramLeakWPer32kb * seconds;
+    e.memoryJ = sram_dynamic + sram_leak;
+
+    // --- network -----------------------------------------------------
+    // Wire energy uses the physical hop lengths accumulated by the NoC
+    // (tile-side units: 1 mesh, 2 folded torus, R ruche) scaled by the
+    // tile side length from the area model.
+    const std::uint64_t per_tile_bytes =
+        config.numTiles() == 0
+            ? 0
+            : provisioned_total / config.numTiles();
+    const TileGeometry geo =
+        tileGeometry(per_tile_bytes, config.topology, tech);
+    const double wire =
+        static_cast<double>(stats.noc.flitWireTiles) * geo.sideMm *
+        tech.wirePjPerFlitMm * pj;
+    const double router = static_cast<double>(stats.noc.routerPassages) *
+                          tech.routerPjPerFlit * pj;
+    e.networkJ = wire + router;
+
+    return e;
+}
+
+} // namespace dalorex

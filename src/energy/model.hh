@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Energy and area accounting for Dalorex runs.
+ *
+ * Energy splits into the three Fig. 9 components:
+ *  - logic:   PU dynamic (per op) + PU leakage + TSU invocations;
+ *  - memory:  SRAM dynamic (per word access) + SRAM leakage over the
+ *             provisioned scratchpad capacity;
+ *  - network: wire energy (flit-hops x physical hop length) + router
+ *             traversal energy.
+ *
+ * The tile's physical side length — which sets NoC wire lengths — comes
+ * from the area model: scratchpad SRAM density plus PU and router area
+ * (Sec. V-A reports 305 mm^2 for 16x16 tiles of 4.2 MB).
+ */
+
+#ifndef DALOREX_ENERGY_MODEL_HH
+#define DALOREX_ENERGY_MODEL_HH
+
+#include "energy/tech.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+
+/** Joules per Fig. 9 component. */
+struct EnergyBreakdown
+{
+    double logicJ = 0.0;
+    double memoryJ = 0.0;
+    double networkJ = 0.0;
+
+    double totalJ() const { return logicJ + memoryJ + networkJ; }
+
+    /** Component shares in percent (Fig. 9 bars). */
+    double logicPct() const;
+    double memoryPct() const;
+    double networkPct() const;
+};
+
+/** Physical geometry of one tile. */
+struct TileGeometry
+{
+    double sramMm2 = 0.0;
+    double puMm2 = 0.0;
+    double routerMm2 = 0.0;
+    double totalMm2 = 0.0;
+    double sideMm = 0.0; //!< sqrt(total): NoC hop unit length
+};
+
+/** Area of a tile provisioned with `scratchpad_bytes` of SRAM. */
+TileGeometry tileGeometry(std::uint64_t scratchpad_bytes,
+                          NocTopology topology,
+                          const TechParams& tech = {});
+
+/** Chip area of a full machine (tiles x tile area). */
+double chipAreaMm2(const MachineConfig& config,
+                   std::uint64_t scratchpad_bytes_per_tile,
+                   const TechParams& tech = {});
+
+/** Energy of one Dalorex run from its measured activity. */
+EnergyBreakdown dalorexEnergy(const RunStats& stats,
+                              const MachineConfig& config,
+                              const TechParams& tech = {});
+
+/** Wall-clock seconds of a run at the modeled frequency. */
+double runSeconds(const RunStats& stats, const TechParams& tech = {});
+
+/** Average utilized memory bandwidth in bytes/s (Fig. 7). */
+double avgMemoryBandwidth(const RunStats& stats,
+                          const TechParams& tech = {});
+
+} // namespace dalorex
+
+#endif // DALOREX_ENERGY_MODEL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * 7nm technology parameters of the paper's power and area model
+ * (Sec. IV-A). Each constant cites the paper's source:
+ *
+ *  - SRAM: 29.2 Mb/mm^2 density, 5.8 pJ read / 9.1 pJ write per bank
+ *    access, 16.9 uW leakage per 32 KB macro, 0.82 ns access (hence
+ *    the 1 GHz clock) — Yokoyama et al. [65].
+ *  - NoC: 8 pJ to move a 32-bit flit one millimeter — McKeown et al.
+ *    [41]; router traversal energy "similar to an ALU operation";
+ *    area ratios from Ou et al. [48] ("a 32-bit 2D torus is 50% bigger
+ *    than a 2D mesh").
+ *  - PU: single-issue in-order core in the Celerity/Snitch/Ariane
+ *    class [15][68][70], energy from the Ariane 22nm reports [67]
+ *    scaled to 7nm with Stillmaker/Xie ratios [58][64].
+ *  - DRAM/HMC (Tesseract baseline): access energy roughly an order of
+ *    magnitude above SRAM plus dominant background/refresh power —
+ *    Micron power calculator [62], Pugsley et al. [52]; the paper
+ *    notes "the energy of refreshing DRAM has the biggest impact on
+ *    Tesseract".
+ */
+
+#ifndef DALOREX_ENERGY_TECH_HH
+#define DALOREX_ENERGY_TECH_HH
+
+namespace dalorex
+{
+
+/** Technology constants; defaults model 7nm at 1 GHz. */
+struct TechParams
+{
+    // --- clock -----------------------------------------------------
+    double freqHz = 1.0e9;
+
+    // --- SRAM scratchpad [65] ---------------------------------------
+    double sramReadPj = 5.8;
+    double sramWritePj = 9.1;
+    double sramLeakWPer32kb = 16.9e-6;
+    double sramMbPerMm2 = 29.2; //!< megabits per mm^2
+
+    // --- processing unit [67][58][64] -------------------------------
+    double puDynPjPerOp = 5.0;  //!< per retired instruction
+    double puLeakW = 1.0e-4;    //!< leakage per PU
+    double puAreaMm2 = 0.04;    //!< slim in-order core
+    double tsuPjPerInvocation = 2.0; //!< task table + queue pointers
+
+    // --- network [41][48] --------------------------------------------
+    double wirePjPerFlitMm = 8.0;
+    double routerPjPerFlit = 1.0; //!< "similar to an ALU operation"
+    double meshRouterAreaMm2 = 0.004;  //!< ~0.3% of a 4MB tile
+    double torusRouterAreaMm2 = 0.006; //!< mesh x 1.5 [48]
+    double rucheExtraAreaMm2 = 0.008;  //!< torus-ruche ~ 2x torus
+
+    // --- DRAM / HMC for the Tesseract baseline [62][52][2] ----------
+    /** HMC energy ~14.5 pJ/bit => ~465 pJ per 32-bit word. */
+    double dramAccessPjPerWord = 465.0;
+    /**
+     * Refresh + standby of the *used* DRAM banks and vault logic per
+     * cube; unused bitlines are switched off (Sec. V-A), yet "the
+     * energy of refreshing DRAM has the biggest impact on Tesseract".
+     */
+    double dramBackgroundWPerCube = 0.25;
+    double serdesPjPerWord = 35.0;      //!< inter-cube link traversal
+    double cacheReadPj = 8.0;  //!< Tesseract-LC 2MB cache access
+    double cacheWritePj = 12.0;
+    /** Leakage of one core's 2MB Tesseract-LC cache (64 macros). */
+    double cacheLeakWPerCore = 1.1e-3;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_ENERGY_TECH_HH

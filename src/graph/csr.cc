@@ -1,0 +1,168 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+void
+Csr::checkInvariants() const
+{
+    panic_if(rowPtr.size() != static_cast<std::size_t>(numVertices) + 1,
+             "rowPtr size ", rowPtr.size(), " != V+1 = ",
+             numVertices + 1);
+    panic_if(colIdx.size() != numEdges, "colIdx size mismatch");
+    panic_if(!weights.empty() && weights.size() != numEdges,
+             "weights size mismatch");
+    panic_if(rowPtr.front() != 0, "rowPtr[0] must be 0");
+    panic_if(rowPtr.back() != numEdges, "rowPtr[V] must equal E");
+    for (VertexId v = 0; v < numVertices; ++v)
+        panic_if(rowPtr[v] > rowPtr[v + 1], "rowPtr not monotone at ", v);
+    for (VertexId dst : colIdx)
+        panic_if(dst >= numVertices, "colIdx out of range: ", dst);
+}
+
+Csr
+buildCsr(VertexId num_vertices, const EdgeList& edges,
+         const CsrBuildOptions& opts)
+{
+    EdgeList cleaned;
+    cleaned.reserve(edges.size());
+    for (const auto& [u, v] : edges) {
+        panic_if(u >= num_vertices || v >= num_vertices,
+                 "edge (", u, ",", v, ") outside vertex domain ",
+                 num_vertices);
+        if (opts.removeSelfLoops && u == v)
+            continue;
+        cleaned.emplace_back(u, v);
+        if (opts.symmetrize && u != v)
+            cleaned.emplace_back(v, u);
+    }
+
+    std::sort(cleaned.begin(), cleaned.end());
+    if (opts.dedup || opts.symmetrize) {
+        cleaned.erase(std::unique(cleaned.begin(), cleaned.end()),
+                      cleaned.end());
+    }
+
+    Csr graph;
+    graph.numVertices = num_vertices;
+    graph.numEdges = static_cast<EdgeId>(cleaned.size());
+    graph.rowPtr.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+    graph.colIdx.resize(cleaned.size());
+
+    for (const auto& [u, v] : cleaned)
+        ++graph.rowPtr[u + 1];
+    for (VertexId v = 0; v < num_vertices; ++v)
+        graph.rowPtr[v + 1] += graph.rowPtr[v];
+    for (std::size_t i = 0; i < cleaned.size(); ++i)
+        graph.colIdx[i] = cleaned[i].second;
+
+    graph.checkInvariants();
+    return graph;
+}
+
+Csr
+symmetrize(const Csr& graph)
+{
+    EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(graph.numEdges) * 2);
+    for (VertexId u = 0; u < graph.numVertices; ++u) {
+        for (EdgeId i = graph.rowPtr[u]; i < graph.rowPtr[u + 1]; ++i)
+            edges.emplace_back(u, graph.colIdx[i]);
+    }
+    CsrBuildOptions opts;
+    opts.symmetrize = true;
+    return buildCsr(graph.numVertices, edges, opts);
+}
+
+void
+addRandomWeights(Csr& graph, Rng& rng, Word min_w, Word max_w)
+{
+    panic_if(min_w == 0, "zero edge weights break SSSP termination");
+    panic_if(min_w > max_w, "empty weight range");
+    graph.weights.resize(graph.numEdges);
+    for (auto& w : graph.weights)
+        w = static_cast<Word>(rng.range(min_w, max_w));
+}
+
+Csr
+crawlOrder(const Csr& graph)
+{
+    const Csr undirected = symmetrize(graph);
+    VertexId start = 0;
+    for (VertexId v = 1; v < undirected.numVertices; ++v) {
+        if (undirected.degree(v) > undirected.degree(start))
+            start = v;
+    }
+
+    std::vector<VertexId> perm(graph.numVertices, invalidTile);
+    std::vector<VertexId> queue;
+    queue.reserve(graph.numVertices);
+    VertexId next_id = 0;
+    queue.push_back(start);
+    perm[start] = next_id++;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const VertexId u = queue[head];
+        for (EdgeId i = undirected.rowPtr[u];
+             i < undirected.rowPtr[u + 1]; ++i) {
+            const VertexId v = undirected.colIdx[i];
+            if (perm[v] == invalidTile) {
+                perm[v] = next_id++;
+                queue.push_back(v);
+            }
+        }
+    }
+    // Unreached vertices keep their relative order at the tail.
+    for (VertexId v = 0; v < graph.numVertices; ++v) {
+        if (perm[v] == invalidTile)
+            perm[v] = next_id++;
+    }
+    return permuteVertices(graph, perm);
+}
+
+Csr
+permuteVertices(const Csr& graph, const std::vector<VertexId>& perm)
+{
+    panic_if(perm.size() != graph.numVertices,
+             "permutation size mismatch");
+    EdgeList edges;
+    edges.reserve(graph.numEdges);
+    // Carry weights through the rebuild by pairing them with edges.
+    std::vector<std::pair<std::pair<VertexId, VertexId>, Word>> weighted;
+    const bool has_w = graph.weighted();
+    if (has_w)
+        weighted.reserve(graph.numEdges);
+    for (VertexId u = 0; u < graph.numVertices; ++u) {
+        for (EdgeId i = graph.rowPtr[u]; i < graph.rowPtr[u + 1]; ++i) {
+            const VertexId nu = perm[u];
+            const VertexId nv = perm[graph.colIdx[i]];
+            if (has_w)
+                weighted.push_back({{nu, nv}, graph.weights[i]});
+            else
+                edges.emplace_back(nu, nv);
+        }
+    }
+
+    CsrBuildOptions opts;
+    opts.removeSelfLoops = false; // preserve the input edge set exactly
+    opts.dedup = false;
+
+    if (!has_w)
+        return buildCsr(graph.numVertices, edges, opts);
+
+    std::sort(weighted.begin(), weighted.end());
+    EdgeList sorted_edges;
+    sorted_edges.reserve(weighted.size());
+    for (const auto& [e, w] : weighted)
+        sorted_edges.push_back(e);
+    Csr out = buildCsr(graph.numVertices, sorted_edges, opts);
+    out.weights.resize(out.numEdges);
+    for (std::size_t i = 0; i < weighted.size(); ++i)
+        out.weights[i] = weighted[i].second;
+    return out;
+}
+
+} // namespace dalorex

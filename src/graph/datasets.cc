@@ -1,0 +1,137 @@
+#include "graph/datasets.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+#include "graph/rmat.hh"
+
+namespace dalorex
+{
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    return s;
+}
+
+/** Amazon co-purchase stand-in: full paper size at scale 18. */
+Dataset
+makeAmazon(unsigned scale, std::uint64_t seed)
+{
+    RmatParams params;
+    params.scale = scale;       // 18 = 262,144 vertices: real AZ size
+    params.edgeFactor = 5;      // ~1.2M directed edges after cleanup
+    params.a = 0.45;            // co-purchase graphs are mildly skewed
+    params.b = 0.22;
+    params.c = 0.22;
+    params.seed = seed;
+    Dataset ds;
+    ds.name = "AZ";
+    ds.provenance = "synthetic stand-in for SNAP amazon0302 "
+                    "(paper size V=262K, E~1.2M at scale 18), "
+                    "mild degree skew, crawl-ordered ids";
+    ds.graph = crawlOrder(rmatGraph(params));
+    return ds;
+}
+
+/** Wikipedia stand-in: average degree 24 kept. */
+Dataset
+makeWiki(unsigned scale, std::uint64_t seed)
+{
+    RmatParams params;
+    params.scale = scale;       // paper: 4.2M vertices
+    params.edgeFactor = 24;     // paper average degree 101M/4.2M ~ 24
+    params.a = 0.57;
+    params.b = 0.19;
+    params.c = 0.19;
+    params.seed = seed + 17;
+    Dataset ds;
+    ds.name = "WK";
+    ds.provenance = "synthetic stand-in for Wikipedia links, scaled "
+                    "down, avg degree 24, strong skew, crawl-ordered "
+                    "ids";
+    ds.graph = crawlOrder(rmatGraph(params));
+    return ds;
+}
+
+/** LiveJournal stand-in: average degree 15 kept. */
+Dataset
+makeLiveJournal(unsigned scale, std::uint64_t seed)
+{
+    RmatParams params;
+    params.scale = scale;       // paper: 5.3M vertices
+    params.edgeFactor = 15;     // paper average degree 79M/5.3M ~ 15
+    params.a = 0.55;
+    params.b = 0.19;
+    params.c = 0.19;
+    params.seed = seed + 41;
+    Dataset ds;
+    ds.name = "LJ";
+    ds.provenance = "synthetic stand-in for soc-LiveJournal1, scaled "
+                    "down, avg degree 15, crawl-ordered ids";
+    ds.graph = crawlOrder(rmatGraph(params));
+    return ds;
+}
+
+} // namespace
+
+Dataset
+makeDatasetAt(const std::string& name, unsigned scale,
+              std::uint64_t seed)
+{
+    const std::string id = lower(name);
+    fatal_if(scale < 4 || scale > 31, "dataset scale out of [4,31]: ",
+             scale);
+    if (id == "amazon" || id == "az")
+        return makeAmazon(scale, seed);
+    if (id == "wiki" || id == "wikipedia" || id == "wk")
+        return makeWiki(scale, seed);
+    if (id == "livejournal" || id == "lj")
+        return makeLiveJournal(scale, seed);
+    return makeDataset(name, seed);
+}
+
+Dataset
+makeDataset(const std::string& name, std::uint64_t seed)
+{
+    const std::string id = lower(name);
+    if (id == "amazon" || id == "az")
+        return makeAmazon(18, seed);
+    if (id == "wiki" || id == "wikipedia" || id == "wk")
+        return makeWiki(18, seed);
+    if (id == "livejournal" || id == "lj")
+        return makeLiveJournal(18, seed);
+    if (id.rfind("rmat", 0) == 0) {
+        const std::string digits = id.substr(4);
+        fatal_if(digits.empty(), "dataset 'rmatN' needs a scale: ", name);
+        int scale = 0;
+        for (char ch : digits) {
+            fatal_if(!std::isdigit(static_cast<unsigned char>(ch)),
+                     "bad rmat scale in dataset name: ", name);
+            scale = scale * 10 + (ch - '0');
+        }
+        fatal_if(scale < 4 || scale > 31,
+                 "rmat scale out of [4,31]: ", scale);
+        RmatParams params;
+        params.scale = static_cast<unsigned>(scale);
+        params.edgeFactor = 10; // paper: "average ten edges per vertex"
+        params.seed = seed;
+        Dataset ds;
+        ds.name = "R" + digits;
+        ds.provenance = "RMAT scale " + digits +
+                        " per the paper (Graph500 parameters, "
+                        "edge factor 10)";
+        ds.graph = rmatGraph(params);
+        return ds;
+    }
+    fatal("unknown dataset: ", name,
+          " (expected amazon|wiki|livejournal|rmatN)");
+}
+
+} // namespace dalorex

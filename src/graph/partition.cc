@@ -1,0 +1,66 @@
+#include "graph/partition.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+const char*
+toString(Distribution dist)
+{
+    switch (dist) {
+      case Distribution::lowOrder:
+        return "low-order";
+      case Distribution::highOrder:
+        return "high-order";
+    }
+    return "?";
+}
+
+Partition::Partition(VertexId num_vertices, EdgeId num_edges,
+                     std::uint32_t num_tiles, Distribution dist)
+    : numVertices_(num_vertices), numEdges_(num_edges),
+      numTiles_(num_tiles), dist_(dist)
+{
+    fatal_if(num_tiles == 0, "partition needs at least one tile");
+    fatal_if(num_vertices == 0, "partition needs at least one vertex");
+    fatal_if(num_edges == 0, "partition needs at least one edge");
+    nodesPerChunk_ =
+        static_cast<std::uint32_t>(divCeil(num_vertices, num_tiles));
+    edgesPerChunk_ =
+        static_cast<std::uint32_t>(divCeil(num_edges, num_tiles));
+}
+
+std::uint32_t
+Partition::ownedVertices(TileId tile) const
+{
+    panic_if(tile >= numTiles_, "tile out of range");
+    if (dist_ == Distribution::lowOrder) {
+        // Elements tile, tile+T, tile+2T, ... below numVertices_.
+        if (tile >= numVertices_)
+            return 0;
+        return (numVertices_ - tile - 1) / numTiles_ + 1;
+    }
+    const std::uint64_t begin =
+        std::uint64_t(tile) * nodesPerChunk_;
+    if (begin >= numVertices_)
+        return 0;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + nodesPerChunk_, numVertices_);
+    return static_cast<std::uint32_t>(end - begin);
+}
+
+std::uint32_t
+Partition::ownedEdges(TileId tile) const
+{
+    panic_if(tile >= numTiles_, "tile out of range");
+    const std::uint64_t begin = std::uint64_t(tile) * edgesPerChunk_;
+    if (begin >= numEdges_)
+        return 0;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + edgesPerChunk_, numEdges_);
+    return static_cast<std::uint32_t>(end - begin);
+}
+
+} // namespace dalorex

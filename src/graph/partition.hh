@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Data distribution of dataset arrays across tiles.
+ *
+ * Per Sec. III-A, every dataset array is divided into equal chunks
+ * across the T tiles. Two placements are modeled for vertex-indexed
+ * arrays (dist, ptr, rank, ...):
+ *
+ *  - highOrder: contiguous blocks — tile = v / nodesPerChunk. This is
+ *    the "high-order bits" placement of the Fig. 5 ablation, which
+ *    concentrates hot vertices.
+ *  - lowOrder: element interleaving — tile = v % T. This is full
+ *    Dalorex's "low-order index bits" placement that spreads hot
+ *    vertices uniformly (Sec. III-F).
+ *
+ * Edge-indexed arrays (edge_idx, edge_values) are always contiguous
+ * equal chunks (tile = e / edgesPerChunk): Listing 1's T1 splits a
+ * CSR neighbor range at chunk borders with a single division, which
+ * requires contiguity. This decoupling of vertex and edge placement is
+ * the paper's "equal number of edges to each tile" work-balance device
+ * (Sec. V-A point 5).
+ */
+
+#ifndef DALOREX_GRAPH_PARTITION_HH
+#define DALOREX_GRAPH_PARTITION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dalorex
+{
+
+/** Placement policy for vertex-indexed arrays. */
+enum class Distribution
+{
+    lowOrder,  //!< interleaved: tile = v % T (full Dalorex)
+    highOrder, //!< blocked: tile = v / chunk (ablation baseline)
+};
+
+const char* toString(Distribution dist);
+
+/**
+ * Maps global vertex/edge indices to (tile, local index) and back.
+ * All tiles receive divCeil-sized chunks; the last chunk may be
+ * partially filled (callers size local arrays by nodes/edgesPerChunk).
+ */
+class Partition
+{
+  public:
+    /**
+     * @param num_vertices Global vertex count (> 0).
+     * @param num_edges    Global edge count (> 0).
+     * @param num_tiles    Tile count T (> 0).
+     * @param dist         Placement for vertex-indexed arrays.
+     */
+    Partition(VertexId num_vertices, EdgeId num_edges,
+              std::uint32_t num_tiles, Distribution dist);
+
+    std::uint32_t numTiles() const { return numTiles_; }
+    VertexId numVertices() const { return numVertices_; }
+    EdgeId numEdges() const { return numEdges_; }
+    Distribution distribution() const { return dist_; }
+
+    /** Vertex-array chunk length per tile (Listing 1 NODES_PER_CHUNK). */
+    std::uint32_t nodesPerChunk() const { return nodesPerChunk_; }
+    /** Edge-array chunk length per tile (Listing 1 EDGES_PER_CHUNK). */
+    std::uint32_t edgesPerChunk() const { return edgesPerChunk_; }
+
+    /** Tile owning vertex-indexed element v. */
+    TileId
+    vertexOwner(VertexId v) const
+    {
+        return dist_ == Distribution::lowOrder ? v % numTiles_
+                                               : v / nodesPerChunk_;
+    }
+
+    /** Local index of vertex v inside its owner's chunk. */
+    std::uint32_t
+    vertexLocal(VertexId v) const
+    {
+        return dist_ == Distribution::lowOrder ? v / numTiles_
+                                               : v % nodesPerChunk_;
+    }
+
+    /** Inverse of (vertexOwner, vertexLocal). */
+    VertexId
+    vertexGlobal(TileId tile, std::uint32_t local) const
+    {
+        return dist_ == Distribution::lowOrder
+                   ? local * numTiles_ + tile
+                   : tile * nodesPerChunk_ + local;
+    }
+
+    /** Number of vertices a tile actually owns (last chunks short). */
+    std::uint32_t ownedVertices(TileId tile) const;
+
+    /** Tile owning edge-indexed element e (always contiguous chunks). */
+    TileId
+    edgeOwner(EdgeId e) const
+    {
+        return e / edgesPerChunk_;
+    }
+
+    /** Local index of edge e inside its owner's chunk. */
+    std::uint32_t
+    edgeLocal(EdgeId e) const
+    {
+        return e % edgesPerChunk_;
+    }
+
+    /** Inverse of (edgeOwner, edgeLocal). */
+    EdgeId
+    edgeGlobal(TileId tile, std::uint32_t local) const
+    {
+        return tile * edgesPerChunk_ + local;
+    }
+
+    /** Number of edges a tile actually owns. */
+    std::uint32_t ownedEdges(TileId tile) const;
+
+    /**
+     * First global edge index after `begin` at which the owning tile
+     * changes, clamped to `end`: T1's chunk-border split point
+     * (Listing 1: tile*EDGES_PER_CHUNK).
+     */
+    EdgeId
+    edgeRangeSplit(EdgeId begin, EdgeId end) const
+    {
+        const EdgeId border =
+            (begin / edgesPerChunk_ + 1) * edgesPerChunk_;
+        return border < end ? border : end;
+    }
+
+  private:
+    VertexId numVertices_;
+    EdgeId numEdges_;
+    std::uint32_t numTiles_;
+    Distribution dist_;
+    std::uint32_t nodesPerChunk_;
+    std::uint32_t edgesPerChunk_;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_GRAPH_PARTITION_HH

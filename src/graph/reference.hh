@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sequential reference implementations of the five evaluated kernels.
+ *
+ * The paper validates its simulator "to provide correct program outputs
+ * over sequential x86 executions of the applications" (Sec. IV-A);
+ * these functions serve the same role for every Dalorex and Tesseract
+ * run in tests and benches.
+ */
+
+#ifndef DALOREX_GRAPH_REFERENCE_HH
+#define DALOREX_GRAPH_REFERENCE_HH
+
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace dalorex
+{
+
+/**
+ * Breadth-First Search: hop count from `root` per vertex
+ * (infDist if unreachable).
+ */
+std::vector<Word> referenceBfs(const Csr& graph, VertexId root);
+
+/**
+ * Single-Source Shortest Path over `graph.weights` (Dijkstra).
+ * Distances as 64-bit-safe saturating 32-bit values; infDist if
+ * unreachable. Requires a weighted graph with all weights > 0.
+ */
+std::vector<Word> referenceSssp(const Csr& graph, VertexId root);
+
+/**
+ * Weakly Connected Components by label propagation: every vertex gets
+ * the smallest vertex id reachable in the undirected view. Pass a
+ * symmetrized graph (the task program requires one too).
+ */
+std::vector<Word> referenceWcc(const Csr& graph);
+
+/**
+ * PageRank, push-style, run for `iterations` synchronous epochs:
+ *   rank'[v] = (1-d)/V + d * sum_{u->v} rank[u]/outdeg[u]
+ * Vertices with zero out-degree do not push (their mass decays), which
+ * matches the task program exactly.
+ */
+std::vector<double> referencePageRank(const Csr& graph, double damping,
+                                      unsigned iterations);
+
+/**
+ * SPMV y = A*x with A stored column-major in the CSR arrays: rowPtr
+ * indexes columns, colIdx holds row ids, weights holds values. Integer
+ * math (exact under any accumulation order). Requires weights.
+ */
+std::vector<Word> referenceSpmv(const Csr& matrix,
+                                const std::vector<Word>& x);
+
+} // namespace dalorex
+
+#endif // DALOREX_GRAPH_REFERENCE_HH

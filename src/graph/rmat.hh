@@ -1,0 +1,61 @@
+/**
+ * @file
+ * RMAT (Kronecker) synthetic graph generation.
+ *
+ * The paper evaluates "several different sizes of synthetic RMAT graphs
+ * [35] of up to 67M vertices and 1.3B edges" with an average of ten
+ * edges per vertex (Sec. IV / V-B). This generator follows the standard
+ * recursive-quadrant construction of Chakrabarti et al. with the
+ * Graph500 parameterization by default.
+ */
+
+#ifndef DALOREX_GRAPH_RMAT_HH
+#define DALOREX_GRAPH_RMAT_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "graph/csr.hh"
+
+namespace dalorex
+{
+
+/** Parameters of the RMAT recursive edge placement. */
+struct RmatParams
+{
+    /** log2 of the vertex count. */
+    unsigned scale = 16;
+    /** Directed edges generated = edgeFactor * 2^scale. */
+    unsigned edgeFactor = 10;
+    /** Quadrant probabilities (must sum to ~1). */
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    /** d is implied: 1 - a - b - c. */
+
+    /** RNG seed; equal seeds give identical graphs. */
+    std::uint64_t seed = 1;
+
+    /** Drop self loops / duplicate edges during CSR build. */
+    bool removeSelfLoops = true;
+    bool dedup = false;
+
+    /**
+     * Apply the Graph500-standard random vertex-id permutation. Raw
+     * Kronecker construction parks every hub at a power-of-two index
+     * — ids whose low-order bits are all zero — which would alias
+     * every hub onto tile 0 under any power-of-two low-order-bit
+     * placement. Real RMAT pipelines always shuffle; keep this on.
+     */
+    bool shuffleIds = true;
+};
+
+/** Generate the raw directed edge list (before CSR cleanup). */
+EdgeList rmatEdges(const RmatParams& params);
+
+/** Generate an RMAT graph as CSR. */
+Csr rmatGraph(const RmatParams& params);
+
+} // namespace dalorex
+
+#endif // DALOREX_GRAPH_RMAT_HH

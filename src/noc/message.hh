@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Network message representation.
+ *
+ * Dalorex messages are task invocations: "Messages can be composed of
+ * several flits, each being a parameter of the task to be called"
+ * (Sec. III-E). Routing is headerless — the first flit is the global
+ * index of the distributed array the next task accesses, from which the
+ * head encoder derives the destination tile; no routing metadata is
+ * transmitted. The simulator carries the pre-computed destination next
+ * to the payload words for speed; it models information the head
+ * encoder/decoder derive, not extra wire bits.
+ */
+
+#ifndef DALOREX_NOC_MESSAGE_HH
+#define DALOREX_NOC_MESSAGE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dalorex
+{
+
+/** Maximum logical channels an application may configure. */
+constexpr unsigned maxChannels = 4;
+
+/** Maximum words (flits) per message. */
+constexpr unsigned maxMsgWords = 4;
+
+/** A task-invocation message traversing the NoC. */
+struct Message
+{
+    TileId dest = invalidTile;
+    ChannelId channel = 0;
+    std::uint8_t numWords = 0;
+    /** words[0] is the head flit (local array index after decode). */
+    std::array<Word, maxMsgWords> words{};
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_NOC_MESSAGE_HH

@@ -1,0 +1,226 @@
+#include "noc/network.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+Network::Network(const NocConfig& config, DeliverFn deliver,
+                 InjectSpaceFn on_inject_space)
+    : config_(config),
+      topo_(config.topology, config.width, config.height,
+            config.rucheFactor),
+      deliver_(std::move(deliver)),
+      onInjectSpace_(std::move(on_inject_space))
+{
+    fatal_if(config_.numChannels == 0 ||
+                 config_.numChannels > maxChannels,
+             "channel count out of range: ", config_.numChannels);
+    fatal_if(config_.bufferSlots < 2,
+             "bubble flow control needs >= 2 buffer slots per channel");
+    for (unsigned c = 0; c < config_.numChannels; ++c) {
+        fatal_if(config_.msgWords[c] == 0 ||
+                     config_.msgWords[c] > maxMsgWords,
+                 "channel ", c, " message length out of range");
+    }
+
+    routers_.resize(topo_.numTiles());
+    routerActive_.assign(topo_.numTiles(), 0);
+    routerActiveUntil_.assign(topo_.numTiles(), 0);
+    for (TileId r = 0; r < routers_.size(); ++r) {
+        Router& router = routers_[r];
+        for (unsigned p = 0; p < numPorts; ++p) {
+            const auto port = static_cast<Port>(p);
+            if (topo_.hasNeighbor(r, port))
+                router.neighborId[p] = topo_.neighbor(r, port);
+            else
+                router.neighborId[p] = r;
+            if (!topo_.portActive(port))
+                continue;
+            for (unsigned c = 0; c < config_.numChannels; ++c)
+                router.buffers[p][c].slots.resize(config_.bufferSlots);
+        }
+    }
+}
+
+void
+Network::routeInto(TileId router, Port in_port, InFlight& entry) const
+{
+    entry.outPort = topo_.route(router, entry.msg.dest);
+    entry.needSlots =
+        topo_.entersRing(in_port, entry.outPort) ? 2 : 1;
+}
+
+void
+Network::markActive(TileId router, Cycle now, unsigned len)
+{
+    const Cycle end = now + len;
+    Cycle& until = routerActiveUntil_[router];
+    if (until <= now) {
+        routerActive_[router] += len;
+        until = end;
+    } else if (until < end) {
+        routerActive_[router] += end - until;
+        until = end;
+    }
+}
+
+InjectResult
+Network::tryInject(const Message& msg, TileId src, Cycle now)
+{
+    panic_if(msg.channel >= config_.numChannels,
+             "inject on unconfigured channel ", int(msg.channel));
+    panic_if(msg.numWords != config_.msgWords[msg.channel],
+             "message length ", int(msg.numWords),
+             " does not match channel ", int(msg.channel));
+    panic_if(msg.dest >= topo_.numTiles(), "inject to bad tile ",
+             msg.dest);
+
+    Router& router = routers_[src];
+    if (router.injectFreeAt > now)
+        return InjectResult::portBusy;
+    Fifo& fifo = router.buffers[portLocal][msg.channel];
+    if (fifo.free() == 0) {
+        router.injectBlocked |= std::uint8_t(1) << msg.channel;
+        return InjectResult::bufferFull;
+    }
+
+    InFlight entry{msg, now, portLocal, 1};
+    routeInto(src, portLocal, entry);
+    fifo.push(entry);
+    router.occupancy |=
+        std::uint64_t(1) << (portLocal * config_.numChannels +
+                             msg.channel);
+    router.injectFreeAt = now + msg.numWords;
+    ++inFlight_;
+    ++stats_.messagesInjected;
+    markActive(src, now, msg.numWords);
+    return InjectResult::ok;
+}
+
+bool
+Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
+                 Cycle now)
+{
+    Router& router = routers_[router_id];
+    Fifo& fifo = router.buffers[in_port][channel];
+    InFlight& entry = fifo.front();
+    if (entry.arrival >= now)
+        return false; // arrived this cycle; moves next cycle
+
+    const Port out_port = entry.outPort;
+    if (router.linkFreeAt[out_port] > now)
+        return false;
+
+    const Message& msg = entry.msg;
+    const unsigned len = msg.numWords;
+
+    const std::uint64_t pair_bit =
+        std::uint64_t(1) << (in_port * config_.numChannels + channel);
+
+    if (out_port == portLocal) {
+        // Arrived: offer to the TSU; it may refuse (IQ full).
+        if (!deliver_(msg)) {
+            ++stats_.deliveryStalls;
+            // Sleep until the engine frees IQ space (wakeRouter).
+            router.blocked |= pair_bit;
+            return false;
+        }
+        router.linkFreeAt[portLocal] = now + len;
+        stats_.routerPassages += len;
+        ++stats_.messagesDelivered;
+        --inFlight_;
+        markActive(router_id, now, len);
+        fifo.pop();
+        if (fifo.empty())
+            router.occupancy &= ~pair_bit;
+        // A slot freed here: wake the upstream router feeding this
+        // buffer (its head may have been asleep on us being full).
+        if (in_port != portLocal) {
+            routers_[router.neighborId[in_port]].blocked = 0;
+        } else if (router.injectBlocked & (std::uint8_t(1) << channel)) {
+            router.injectBlocked &= ~(std::uint8_t(1) << channel);
+            if (onInjectSpace_)
+                onInjectSpace_(router_id, channel);
+        }
+        return true;
+    }
+
+    const TileId next_id = router.neighborId[out_port];
+    const Port next_in = Topology::oppositePort(out_port);
+    Router& next = routers_[next_id];
+    Fifo& dst = next.buffers[next_in][channel];
+
+    // Bubble rule: entering a torus ring must leave one slot free.
+    if (dst.free() < entry.needSlots) {
+        // Sleep until a pop on the downstream buffer wakes us.
+        router.blocked |= pair_bit;
+        return false;
+    }
+
+    InFlight forwarded{msg, now, portLocal, 1};
+    routeInto(next_id, next_in, forwarded);
+    dst.push(forwarded);
+    next.occupancy |= std::uint64_t(1)
+                      << (next_in * config_.numChannels + channel);
+    router.linkFreeAt[out_port] = now + len;
+    stats_.flitHops += len;
+    stats_.flitWireTiles +=
+        std::uint64_t(len) * topo_.hopWireTiles(out_port);
+    stats_.routerPassages += len;
+    markActive(router_id, now, len);
+    fifo.pop();
+    if (fifo.empty())
+        router.occupancy &= ~pair_bit;
+    // This buffer freed a slot: wake whoever feeds it — the upstream
+    // router, or the tile's own injection port.
+    if (in_port != portLocal) {
+        routers_[router.neighborId[in_port]].blocked = 0;
+    } else if (router.injectBlocked & (std::uint8_t(1) << channel)) {
+        router.injectBlocked &= ~(std::uint8_t(1) << channel);
+        if (onInjectSpace_)
+            onInjectSpace_(router_id, channel);
+    }
+    return true;
+}
+
+void
+Network::step(Cycle now)
+{
+    if (inFlight_ == 0)
+        return;
+
+    const unsigned channels = config_.numChannels;
+    const unsigned pairs = numPorts * channels;
+
+    for (TileId r = 0; r < routers_.size(); ++r) {
+        Router& router = routers_[r];
+        std::uint64_t pending = router.occupancy & ~router.blocked;
+        if (pending == 0)
+            continue;
+        // Round-robin arbitration: rotate the scan starting point so no
+        // (port, channel) pair gets static priority.
+        const unsigned shift =
+            static_cast<unsigned>((now + r) % pairs);
+        const std::uint64_t mask = (pairs >= 64)
+                                       ? ~std::uint64_t(0)
+                                       : ((std::uint64_t(1) << pairs) -
+                                          1);
+        std::uint64_t rotated =
+            ((pending >> shift) | (pending << (pairs - shift))) & mask;
+        while (rotated != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(rotated));
+            rotated &= rotated - 1;
+            const unsigned pair = (bit + shift) % pairs;
+            const auto in_port = static_cast<Port>(pair / channels);
+            const auto channel =
+                static_cast<ChannelId>(pair % channels);
+            tryMove(r, in_port, channel, now);
+        }
+    }
+}
+
+} // namespace dalorex

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Cycle-level network-on-chip model.
+ *
+ * Routers move whole messages between per-(input port, channel) buffers
+ * at message granularity while charging exact wormhole timing: a hop
+ * advances the head one router per cycle and occupies the traversed
+ * link for the message's flit count ("its flits are always routed back
+ * to back", Sec. III-E). Messages on the same (output port, channel)
+ * never interleave; different output ports of a router route
+ * simultaneously; input ports contending for an output port are
+ * arbitrated round-robin — all per Sec. III-E.
+ *
+ * Deadlock freedom: dimension-ordered routing on the mesh; on torus
+ * rings a message entering a ring (injection or dimension turn) must
+ * leave a free buffer slot behind it — the paper's "local bubble
+ * routing" (Sec. III-F). Endpoint backpressure is modeled by letting
+ * the TSU refuse delivery when the target input queue is full.
+ *
+ * Simplifications vs RTL (documented in DESIGN.md): buffers are counted
+ * in message slots rather than a shared per-direction flit pool, and a
+ * link serializes whole messages across channels instead of
+ * interleaving virtual-channel flits. Both conserve link bandwidth and
+ * buffer capacity exactly.
+ */
+
+#ifndef DALOREX_NOC_NETWORK_HH
+#define DALOREX_NOC_NETWORK_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "noc/message.hh"
+#include "noc/topology.hh"
+
+namespace dalorex
+{
+
+/** Static configuration of the NoC. */
+struct NocConfig
+{
+    NocTopology topology = NocTopology::torus;
+    std::uint32_t width = 16;
+    std::uint32_t height = 16;
+    std::uint32_t rucheFactor = 0; //!< used when topology == torusRuche
+    std::uint32_t numChannels = 2;
+    /** Flits per message on each channel (known statically). */
+    std::array<std::uint8_t, maxChannels> msgWords = {3, 2, 0, 0};
+    /** Capacity of each (input port, channel) buffer, in messages. */
+    std::uint32_t bufferSlots = 4;
+};
+
+/** Aggregate NoC activity counters (feed the energy model). */
+struct NocStats
+{
+    std::uint64_t messagesInjected = 0;
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t flitHops = 0;       //!< flits x links traversed
+    std::uint64_t flitWireTiles = 0;  //!< flit-hops x wire tile-lengths
+    std::uint64_t routerPassages = 0; //!< flits crossing a router
+    std::uint64_t deliveryStalls = 0; //!< endpoint-backpressure retries
+};
+
+/** Outcome of an injection attempt. */
+enum class InjectResult
+{
+    ok,         //!< message entered the local input buffer
+    portBusy,   //!< still serializing a previous message (transient)
+    bufferFull, //!< local buffer full; wait for a pop (event)
+};
+
+/**
+ * The NoC: a grid of routers stepped one cycle at a time.
+ *
+ * Injection: `tryInject` places a message into the source router's
+ * local input buffer (serialized at one flit per cycle per tile).
+ * Delivery: when a message reaches its destination's local output, the
+ * engine-supplied callback is offered the message and may refuse it
+ * (input queue full), leaving it buffered — backpressure.
+ */
+class Network
+{
+  public:
+    /** Returns true if the tile accepted the message. */
+    using DeliverFn = std::function<bool(const Message&)>;
+    /** Notified when a full local input buffer frees a slot. */
+    using InjectSpaceFn = std::function<void(TileId, ChannelId)>;
+
+    Network(const NocConfig& config, DeliverFn deliver,
+            InjectSpaceFn on_inject_space = nullptr);
+
+    /**
+     * Try to move a message from tile `src`'s channel queue into the
+     * network at cycle `now`.
+     */
+    InjectResult tryInject(const Message& msg, TileId src, Cycle now);
+
+    /** Advance every router by one cycle. */
+    void step(Cycle now);
+
+    /** True when no message is buffered anywhere in the network. */
+    bool quiescent() const { return inFlight_ == 0; }
+
+    std::uint64_t inFlight() const { return inFlight_; }
+    const NocStats& stats() const { return stats_; }
+    const Topology& topology() const { return topo_; }
+    const NocConfig& config() const { return config_; }
+
+    /** Per-router cycles with at least one flit in motion (Fig. 10). */
+    const std::vector<Cycle>&
+    routerActiveCycles() const
+    {
+        return routerActive_;
+    }
+
+    /**
+     * Re-arm any sleeping heads at `router`. The engine must call this
+     * whenever it frees space in one of the tile's input queues so a
+     * delivery blocked on a full IQ retries.
+     */
+    void
+    wakeRouter(TileId router)
+    {
+        routers_[router].blocked = 0;
+    }
+
+    /**
+     * True when a tryInject on this channel is known to fail because
+     * the local input buffer is full (engine fast-path check).
+     */
+    bool
+    injectBlocked(TileId router, ChannelId channel) const
+    {
+        return (routers_[router].injectBlocked >> channel) & 1;
+    }
+
+    /** Cycle at which the tile's injection port frees up. */
+    Cycle
+    injectFreeAt(TileId router) const
+    {
+        return routers_[router].injectFreeAt;
+    }
+
+  private:
+    /**
+     * A buffered message plus the cycle its head arrived here and its
+     * pre-routed exit. The output port is fixed by dimension-ordered
+     * routing the moment the message enters a router, so it is
+     * computed once per hop (at push) instead of on every retry.
+     */
+    struct InFlight
+    {
+        Message msg;
+        Cycle arrival;
+        Port outPort;
+        std::uint8_t needSlots; //!< bubble rule: 2 on ring entry
+    };
+
+    /** Fixed-capacity ring buffer of in-flight messages. */
+    struct Fifo
+    {
+        std::vector<InFlight> slots;
+        std::uint32_t head = 0;
+        std::uint32_t count = 0;
+
+        bool empty() const { return count == 0; }
+        std::uint32_t
+        free() const
+        {
+            return static_cast<std::uint32_t>(slots.size()) - count;
+        }
+        InFlight& front() { return slots[head]; }
+        void
+        pop()
+        {
+            head = (head + 1) % slots.size();
+            --count;
+        }
+        void
+        push(const InFlight& entry)
+        {
+            slots[(head + count) % slots.size()] = entry;
+            ++count;
+        }
+    };
+
+    struct Router
+    {
+        /** buffers[port][channel]; portLocal holds injected traffic. */
+        std::array<std::array<Fifo, maxChannels>, numPorts> buffers;
+        /** Link occupancy per output port (wormhole serialization). */
+        std::array<Cycle, numPorts> linkFreeAt{};
+        /** Downstream router id per output port (precomputed). */
+        std::array<TileId, numPorts> neighborId{};
+        /** Injection serialization (TSU -> router, 1 flit/cycle). */
+        Cycle injectFreeAt = 0;
+        /** Non-empty (port, channel) pairs, bit port*channels+chan. */
+        std::uint64_t occupancy = 0;
+        /**
+         * Pairs whose head is asleep waiting for downstream buffer
+         * space or input-queue space. A sleeping head is skipped by
+         * step() until a pop on the blocking structure wakes this
+         * router — turning the congestion retry storm into an
+         * event-driven wait with identical timing (space can only
+         * appear via a pop, which always wakes the sleeper in the
+         * same cycle the space appears).
+         */
+        std::uint64_t blocked = 0;
+        /**
+         * Channels whose local input buffer rejected an injection
+         * because it was full; cleared when that buffer pops. Lets the
+         * engine skip hopeless injection retries.
+         */
+        std::uint8_t injectBlocked = 0;
+    };
+
+    void markActive(TileId router, Cycle now, unsigned len);
+    bool tryMove(TileId router_id, Port in_port, ChannelId channel,
+                 Cycle now);
+    /** Fill the pre-routed fields of a message entering `router`. */
+    void routeInto(TileId router, Port in_port, InFlight& entry) const;
+
+    NocConfig config_;
+    Topology topo_;
+    DeliverFn deliver_;
+    InjectSpaceFn onInjectSpace_;
+    std::vector<Router> routers_;
+    std::vector<Cycle> routerActive_;
+    std::vector<Cycle> routerActiveUntil_;
+    std::uint64_t inFlight_ = 0;
+    NocStats stats_;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_NOC_NETWORK_HH

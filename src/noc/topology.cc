@@ -1,0 +1,257 @@
+#include "noc/topology.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+const char*
+toString(NocTopology topology)
+{
+    switch (topology) {
+      case NocTopology::mesh:
+        return "mesh";
+      case NocTopology::torus:
+        return "torus";
+      case NocTopology::torusRuche:
+        return "torus-ruche";
+    }
+    return "?";
+}
+
+Topology::Topology(NocTopology topology, std::uint32_t width,
+                   std::uint32_t height, std::uint32_t ruche_factor)
+    : type_(topology), width_(width), height_(height),
+      ruche_(ruche_factor)
+{
+    fatal_if(width == 0 || height == 0, "degenerate grid ", width, "x",
+             height);
+    if (type_ == NocTopology::torusRuche) {
+        fatal_if(ruche_ < 2, "ruche factor must be >= 2, got ", ruche_);
+        fatal_if(ruche_ >= width_ && width_ > 1,
+                 "ruche factor ", ruche_, " >= grid width ", width_);
+    } else {
+        ruche_ = 0;
+    }
+}
+
+bool
+Topology::portActive(Port port) const
+{
+    switch (port) {
+      case portLocal:
+      case portEast:
+      case portWest:
+      case portNorth:
+      case portSouth:
+        return true;
+      case portRucheEast:
+      case portRucheWest:
+        return type_ == NocTopology::torusRuche && width_ > ruche_;
+      case portRucheNorth:
+      case portRucheSouth:
+        return type_ == NocTopology::torusRuche && height_ > ruche_;
+      default:
+        return false;
+    }
+}
+
+bool
+Topology::hasNeighbor(TileId from, Port port) const
+{
+    if (!portActive(port) || port == portLocal)
+        return false;
+    if (type_ != NocTopology::mesh)
+        return true;
+    const std::uint32_t x = tileX(from);
+    const std::uint32_t y = tileY(from);
+    switch (port) {
+      case portEast:
+        return x + 1 < width_;
+      case portWest:
+        return x > 0;
+      case portNorth:
+        return y > 0;
+      case portSouth:
+        return y + 1 < height_;
+      default:
+        return false; // no ruche on a mesh
+    }
+}
+
+TileId
+Topology::neighbor(TileId from, Port port) const
+{
+    const std::uint32_t x = tileX(from);
+    const std::uint32_t y = tileY(from);
+    const bool wrap = type_ != NocTopology::mesh;
+
+    auto step = [&](std::uint32_t coord, std::int32_t dist,
+                    std::uint32_t size) -> std::uint32_t {
+        const auto signed_size = static_cast<std::int32_t>(size);
+        std::int32_t next = static_cast<std::int32_t>(coord) + dist;
+        if (wrap) {
+            next = ((next % signed_size) + signed_size) % signed_size;
+        } else {
+            panic_if(next < 0 || next >= signed_size,
+                     "mesh hop off the edge");
+        }
+        return static_cast<std::uint32_t>(next);
+    };
+
+    switch (port) {
+      case portEast:
+        return tileAt(step(x, 1, width_), y);
+      case portWest:
+        return tileAt(step(x, -1, width_), y);
+      case portNorth:
+        return tileAt(x, step(y, -1, height_));
+      case portSouth:
+        return tileAt(x, step(y, 1, height_));
+      case portRucheEast:
+        return tileAt(step(x, static_cast<std::int32_t>(ruche_),
+                           width_), y);
+      case portRucheWest:
+        return tileAt(step(x, -static_cast<std::int32_t>(ruche_),
+                           width_), y);
+      case portRucheNorth:
+        return tileAt(x, step(y, -static_cast<std::int32_t>(ruche_),
+                              height_));
+      case portRucheSouth:
+        return tileAt(x, step(y, static_cast<std::int32_t>(ruche_),
+                              height_));
+      default:
+        panic("neighbor() through port ", int(port));
+    }
+}
+
+Port
+Topology::oppositePort(Port out_port)
+{
+    switch (out_port) {
+      case portEast:
+        return portWest;
+      case portWest:
+        return portEast;
+      case portNorth:
+        return portSouth;
+      case portSouth:
+        return portNorth;
+      case portRucheEast:
+        return portRucheWest;
+      case portRucheWest:
+        return portRucheEast;
+      case portRucheNorth:
+        return portRucheSouth;
+      case portRucheSouth:
+        return portRucheNorth;
+      default:
+        panic("oppositePort of ", int(out_port));
+    }
+}
+
+std::int32_t
+Topology::delta(std::uint32_t from, std::uint32_t to,
+                std::uint32_t size) const
+{
+    auto diff = static_cast<std::int32_t>(to) -
+                static_cast<std::int32_t>(from);
+    if (type_ == NocTopology::mesh || size <= 1)
+        return diff;
+    // Torus: shortest wrap-aware displacement; ties resolve positive.
+    const auto signed_size = static_cast<std::int32_t>(size);
+    if (diff > signed_size / 2)
+        diff -= signed_size;
+    else if (diff < -((signed_size - 1) / 2))
+        diff += signed_size;
+    return diff;
+}
+
+Port
+Topology::route(TileId here, TileId dest) const
+{
+    panic_if(here >= numTiles() || dest >= numTiles(),
+             "route() outside grid");
+    const std::int32_t dx = delta(tileX(here), tileX(dest), width_);
+    const std::int32_t dy = delta(tileY(here), tileY(dest), height_);
+
+    // Dimension-ordered: resolve X first, then Y.
+    if (dx != 0) {
+        const auto mag = static_cast<std::uint32_t>(std::abs(dx));
+        if (ruche_ >= 2 && mag >= ruche_ &&
+            portActive(dx > 0 ? portRucheEast : portRucheWest)) {
+            return dx > 0 ? portRucheEast : portRucheWest;
+        }
+        return dx > 0 ? portEast : portWest;
+    }
+    if (dy != 0) {
+        const auto mag = static_cast<std::uint32_t>(std::abs(dy));
+        if (ruche_ >= 2 && mag >= ruche_ &&
+            portActive(dy > 0 ? portRucheSouth : portRucheNorth)) {
+            return dy > 0 ? portRucheSouth : portRucheNorth;
+        }
+        return dy > 0 ? portSouth : portNorth;
+    }
+    return portLocal;
+}
+
+std::uint32_t
+Topology::hopCount(TileId src, TileId dst) const
+{
+    std::uint32_t hops = 0;
+    TileId here = src;
+    while (here != dst) {
+        const Port port = route(here, dst);
+        panic_if(port == portLocal, "routing stuck at tile ", here);
+        here = neighbor(here, port);
+        ++hops;
+        panic_if(hops > 4 * (width_ + height_) * (ruche_ + 1),
+                 "routing loop from ", src, " to ", dst);
+    }
+    return hops;
+}
+
+std::uint32_t
+Topology::hopWireTiles(Port port) const
+{
+    switch (port) {
+      case portLocal:
+        return 0;
+      case portEast:
+      case portWest:
+      case portNorth:
+      case portSouth:
+        // Folded-torus wiring places logical neighbors two tiles apart
+        // (Sec. III-F); mesh neighbors are adjacent.
+        return type_ == NocTopology::mesh ? 1 : 2;
+      case portRucheEast:
+      case portRucheWest:
+      case portRucheNorth:
+      case portRucheSouth:
+        // Ruche channels are direct physical wires spanning R tiles.
+        return ruche_;
+      default:
+        panic("hopWireTiles of ", int(port));
+    }
+}
+
+bool
+Topology::entersRing(Port in_port, Port out_port) const
+{
+    if (type_ == NocTopology::mesh)
+        return false;
+    if (out_port == portLocal)
+        return false;
+    // Injection from the tile, a turn into the other dimension, or a
+    // switch between the unit-link ring and a ruche ring all *enter* a
+    // physical ring and must leave a bubble behind. A message
+    // continuing inside its ring arrives through the port opposite its
+    // exit (e.g. in from the west, out to the east). Each physical ring
+    // thus keeps at least one free slot, and since dimension-ordered
+    // traffic is monotone around a ring, progress is always possible.
+    return in_port != oppositePort(out_port);
+}
+
+} // namespace dalorex

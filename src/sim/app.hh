@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Application interface of the Dalorex programming model.
+ *
+ * "Application programmers would not program Dalorex directly. Instead,
+ * DSLs ... could invoke our kernel library" (Sec. III-B). An App is one
+ * kernel of that library: it declares tasks and channels, distributes
+ * its data arrays into per-tile chunks, seeds the initial task
+ * invocations, and (in epoch-synchronized mode) restarts epochs when
+ * the chip goes idle.
+ */
+
+#ifndef DALOREX_SIM_APP_HH
+#define DALOREX_SIM_APP_HH
+
+namespace dalorex
+{
+
+class Machine;
+
+/** One kernel written in the Dalorex task programming model. */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Kernel name for reports (e.g. "BFS"). */
+    virtual const char* name() const = 0;
+
+    /**
+     * Whether the kernel inherently needs per-epoch synchronization.
+     * PageRank does ("since PageRank necessitates per-epoch
+     * synchronization ... still uses a global barrier", Fig. 5); the
+     * others run barrierless unless the machine forces barriers.
+     */
+    virtual bool needsBarrier() const { return false; }
+
+    /**
+     * Register tasks/channels and install per-tile state (the local
+     * chunks of the dataset arrays). Called once before the run.
+     */
+    virtual void configure(Machine& machine) = 0;
+
+    /** Seed the initial task invocations (e.g., the root vertex). */
+    virtual void start(Machine& machine) = 0;
+
+    /**
+     * Epoch-synchronized mode only: the chip went idle; seed the next
+     * epoch's work. Return false when the algorithm has converged
+     * (run ends). Never called in barrierless mode.
+     */
+    virtual bool startEpoch(Machine& machine) { (void)machine;
+        return false; }
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_SIM_APP_HH

@@ -1,0 +1,502 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+double
+RunStats::utilization() const
+{
+    if (cycles == 0 || puBusyPerTile.empty())
+        return 0.0;
+    return static_cast<double>(puBusyCycles) /
+           (static_cast<double>(cycles) *
+            static_cast<double>(puBusyPerTile.size()));
+}
+
+// ---------------------------------------------------------------- TaskCtx
+
+TaskCtx::TaskCtx(Machine& machine, Tile& tile, std::uint32_t task)
+    : machine_(machine), tile_(tile), task_(task)
+{
+}
+
+const Word*
+TaskCtx::peek() const
+{
+    return tile_.iqs[task_].front();
+}
+
+void
+TaskCtx::pop()
+{
+    tile_.iqs[task_].pop();
+    --tile_.pendingIqEntries;
+    --machine_.pendingIq_;
+    ++mutations_;
+    // IQ space appeared: re-arm deliveries and self-injections
+    // sleeping on this tile.
+    machine_.network_->wakeRouter(tile_.id);
+    tile_.injectStalledMask = 0;
+}
+
+std::uint32_t
+TaskCtx::cqFree(ChannelId channel) const
+{
+    return tile_.cqs[channel].freeEntries();
+}
+
+void
+TaskCtx::send(ChannelId channel, Word index,
+              std::initializer_list<Word> rest)
+{
+    const ChannelDef& def = machine_.channelDefs_[channel];
+    panic_if(rest.size() + 1 != def.numWords,
+             "send on channel ", def.name, " with ", rest.size() + 1,
+             " words, expected ", int(def.numWords));
+
+    const Partition& part = machine_.partition_;
+    Message msg;
+    msg.channel = channel;
+    msg.numWords = def.numWords;
+    if (def.encode == HeadEncode::vertex) {
+        msg.dest = part.vertexOwner(index);
+        msg.words[0] = part.vertexLocal(index);
+    } else {
+        msg.dest = part.edgeOwner(index);
+        msg.words[0] = part.edgeLocal(index);
+    }
+    unsigned w = 1;
+    for (Word word : rest)
+        msg.words[w++] = word;
+
+    tile_.cqs[channel].push(msg);
+    ++tile_.pendingCqEntries;
+    ++machine_.pendingCq_;
+    ++mutations_;
+    // The PU stores each flit into the channel queue.
+    write(def.numWords);
+}
+
+std::uint32_t
+TaskCtx::iqFree(TaskId task) const
+{
+    return tile_.iqs[task].freeEntries();
+}
+
+void
+TaskCtx::enqueueLocal(TaskId task, std::initializer_list<Word> words)
+{
+    WordQueue& iq = tile_.iqs[task];
+    panic_if(words.size() != iq.entryWords(),
+             "enqueueLocal entry width mismatch on task ", int(task));
+    Word buf[maxMsgWords];
+    unsigned w = 0;
+    for (Word word : words)
+        buf[w++] = word;
+    iq.push(buf);
+    ++tile_.pendingIqEntries;
+    ++machine_.pendingIq_;
+    ++mutations_;
+    write(static_cast<std::uint32_t>(words.size()));
+}
+
+void
+TaskCtx::countEdges(std::uint64_t n)
+{
+    machine_.stats_.edgesProcessed += n;
+}
+
+// ---------------------------------------------------------------- Machine
+
+Machine::Machine(const MachineConfig& config, VertexId num_vertices,
+                 EdgeId num_edges)
+    : config_(config),
+      partition_(num_vertices, num_edges, config.numTiles(),
+                 config.distribution)
+{
+    fatal_if(config_.numTiles() == 0, "machine needs at least one tile");
+    if (config_.topology == NocTopology::torusRuche)
+        fatal_if(config_.rucheFactor < 2,
+                 "torus-ruche requires rucheFactor >= 2");
+    tiles_.resize(config_.numTiles());
+    for (TileId t = 0; t < tiles_.size(); ++t)
+        tiles_[t].id = t;
+}
+
+TaskId
+Machine::addTask(TaskDef def)
+{
+    panic_if(finalized_, "addTask after finalize");
+    panic_if(def.fn == nullptr, "task ", def.name, " has no body");
+    panic_if(def.paramWords == 0 || def.paramWords > maxMsgWords,
+             "task ", def.name, " parameter width out of range");
+    taskDefs_.push_back(std::move(def));
+    return static_cast<TaskId>(taskDefs_.size() - 1);
+}
+
+ChannelId
+Machine::addChannel(ChannelDef def)
+{
+    panic_if(finalized_, "addChannel after finalize");
+    panic_if(def.numWords == 0 || def.numWords > maxMsgWords,
+             "channel ", def.name, " word count out of range");
+    channelDefs_.push_back(std::move(def));
+    return static_cast<ChannelId>(channelDefs_.size() - 1);
+}
+
+void
+Machine::setTileState(TileId tile, std::unique_ptr<AppTileState> state)
+{
+    tiles_[tile].state = std::move(state);
+}
+
+void
+Machine::addDataWords(TileId tile, std::uint64_t words)
+{
+    tiles_[tile].dataWords += words;
+}
+
+void
+Machine::finalizeQueues()
+{
+    panic_if(taskDefs_.empty(), "app registered no tasks");
+    for (const ChannelDef& ch : channelDefs_) {
+        panic_if(ch.targetTask >= taskDefs_.size(),
+                 "channel ", ch.name, " targets unknown task");
+        panic_if(taskDefs_[ch.targetTask].paramWords != ch.numWords,
+                 "channel ", ch.name, " word count ", int(ch.numWords),
+                 " does not match target task IQ entry width ",
+                 int(taskDefs_[ch.targetTask].paramWords));
+    }
+    for (const ChannelDef& ch : channelDefs_)
+        taskDefs_[ch.targetTask].channelFed = true;
+    for (const TaskDef& def : taskDefs_) {
+        panic_if(def.outChannel != noChannel &&
+                     def.outChannel >= channelDefs_.size(),
+                 "task ", def.name, " writes unknown channel");
+        if (def.outChannel != noChannel && def.maxOutMsgs > 0) {
+            panic_if(channelDefs_[def.outChannel].cqCapacity <
+                         def.maxOutMsgs,
+                     "task ", def.name,
+                     " can never run: maxOutMsgs exceeds CQ capacity");
+        }
+    }
+
+    for (Tile& tile : tiles_) {
+        tile.iqs.resize(taskDefs_.size());
+        for (std::size_t t = 0; t < taskDefs_.size(); ++t) {
+            WordQueue& iq = tile.iqs[t];
+            iq.init(taskDefs_[t].paramWords, taskDefs_[t].iqCapacity);
+            // Bake the traffic-aware occupancy thresholds into
+            // integer watermarks (scheduling hot path).
+            iq.setHighMark(static_cast<std::uint32_t>(std::ceil(
+                config_.thresholds.iqHigh * iq.capacity())));
+        }
+        tile.cqs.resize(channelDefs_.size());
+        for (std::size_t c = 0; c < channelDefs_.size(); ++c) {
+            MsgQueue& cq = tile.cqs[c];
+            cq.init(channelDefs_[c].numWords,
+                    channelDefs_[c].cqCapacity);
+            cq.setLowMark(static_cast<std::uint32_t>(std::floor(
+                config_.thresholds.oqLow * cq.capacity())));
+        }
+        tile.taskInvocations.assign(taskDefs_.size(), 0);
+    }
+    finalized_ = true;
+}
+
+void
+Machine::seed(TileId tile_id, TaskId task, std::initializer_list<Word> words)
+{
+    panic_if(!finalized_, "seed before queues are finalized");
+    Tile& tile = tiles_[tile_id];
+    WordQueue& iq = tile.iqs[task];
+    panic_if(words.size() != iq.entryWords(),
+             "seed entry width mismatch on task ", int(task));
+    panic_if(iq.full(), "seeding overflows IQ of task ",
+             taskDefs_[task].name, " on tile ", tile_id,
+             " (increase iqCapacity)");
+    Word buf[maxMsgWords];
+    unsigned w = 0;
+    for (Word word : words)
+        buf[w++] = word;
+    iq.push(buf);
+    ++tile.pendingIqEntries;
+    ++pendingIq_;
+    tile.schedStalled = false;
+}
+
+void
+Machine::hostCharge(TileId tile_id, std::uint32_t ops,
+                    std::uint32_t reads, std::uint32_t writes)
+{
+    Tile& tile = tiles_[tile_id];
+    const Cycle base = std::max(tile.pu.busyUntil, now_);
+    const Cycle cost = ops + reads + writes;
+    tile.pu.busyUntil = base + cost;
+    tile.pu.busyCycles += cost;
+    tile.pu.ops += ops;
+    tile.pu.sramReads += reads;
+    tile.pu.sramWrites += writes;
+}
+
+bool
+Machine::deliver(const Message& msg)
+{
+    const ChannelDef& def = channelDefs_[msg.channel];
+    Tile& tile = tiles_[msg.dest];
+    WordQueue& iq = tile.iqs[def.targetTask];
+    if (iq.full())
+        return false; // endpoint backpressure
+    iq.push(msg.words.data());
+    ++tile.pendingIqEntries;
+    ++pendingIq_;
+    stats_.tsuWrites += def.numWords;
+    lastProgress_ = now_;
+    tile.schedStalled = false; // new input may unblock the TSU
+    return true;
+}
+
+void
+Machine::injectFromCqs(Tile& tile, Cycle now)
+{
+    if (tile.pendingCqEntries == 0)
+        return;
+    const auto num_channels =
+        static_cast<std::uint32_t>(channelDefs_.size());
+    for (std::uint32_t i = 0; i < num_channels; ++i) {
+        const auto c = static_cast<ChannelId>(
+            (tile.injectNext + i) % num_channels);
+        if ((tile.injectStalledMask >> c) & 1)
+            continue; // stalled on a full buffer/IQ; wait for a pop
+        MsgQueue& cq = tile.cqs[c];
+        if (cq.empty())
+            continue;
+        const Message& msg = cq.front();
+        if (msg.dest == tile.id) {
+            // "An OQ can be either another task's input queue (IQ) if
+            // it operates over data residing in the same tile": local
+            // delivery bypasses the network through the TSU.
+            const ChannelDef& def = channelDefs_[msg.channel];
+            WordQueue& iq = tile.iqs[def.targetTask];
+            if (iq.full()) {
+                // Wait for this tile's IQs to drain (pop re-arms).
+                tile.injectStalledMask |= std::uint8_t(1) << c;
+                continue;
+            }
+            iq.push(msg.words.data());
+            ++tile.pendingIqEntries;
+            ++pendingIq_;
+            stats_.tsuReads += def.numWords;
+            stats_.tsuWrites += def.numWords;
+            ++stats_.localBypassMsgs;
+            tile.schedStalled = false;
+        } else {
+            const InjectResult res =
+                network_->tryInject(msg, tile.id, now);
+            if (res == InjectResult::bufferFull) {
+                // onInjectSpace re-arms when the buffer pops.
+                tile.injectStalledMask |= std::uint8_t(1) << c;
+                continue;
+            }
+            if (res == InjectResult::portBusy)
+                continue; // transient: retry next cycle
+            stats_.tsuReads += msg.numWords;
+        }
+        cq.pop();
+        --tile.pendingCqEntries;
+        --pendingCq_;
+        lastProgress_ = now;
+        tile.schedStalled = false; // CQ space may unblock the TSU
+        tile.injectNext = (c + 1) % num_channels;
+        break; // one message through the local port per cycle
+    }
+}
+
+void
+Machine::stepPu(Tile& tile, Cycle now)
+{
+    if (tile.pu.busyUntil > now || tile.pendingIqEntries == 0 ||
+        tile.schedStalled) {
+        return;
+    }
+
+    const std::uint32_t t =
+        pickTask(tile, taskDefs_, config_.policy);
+    if (t == noTask) {
+        // Nothing runnable: sleep until one of this tile's queues
+        // mutates (deliver / inject / seed re-arm the flag).
+        tile.schedStalled = true;
+        return;
+    }
+
+    const TaskDef& def = taskDefs_[t];
+    TaskCtx ctx(*this, tile, t);
+
+    Word params[maxMsgWords];
+    if (def.preload) {
+        // "Task parameters are loaded by TSU before the task begins."
+        const Word* entry = tile.iqs[t].front();
+        for (unsigned w = 0; w < def.paramWords; ++w)
+            params[w] = entry[w];
+        ctx.params_ = params;
+        tile.iqs[t].pop();
+        --tile.pendingIqEntries;
+        --pendingIq_;
+        stats_.tsuReads += def.paramWords;
+        // IQ space appeared: re-arm deliveries and self-injections
+        // sleeping on this tile.
+        network_->wakeRouter(tile.id);
+        tile.injectStalledMask = 0;
+    }
+
+    def.fn(*this, tile, ctx);
+
+    // Base invocation cost: TSU handoff + task entry/exit on the PU.
+    // The interrupting-invocation ablation (Data-Local) penalizes only
+    // channel-fed tasks: those are the remote calls that interrupted
+    // a Tesseract core.
+    constexpr std::uint32_t invocation_base = 2;
+    const Cycle cost = std::max<Cycle>(
+        1, ctx.cyclesCharged() + invocation_base +
+               (def.channelFed ? config_.invokeOverhead : 0));
+    tile.pu.busyUntil = now + cost;
+    tile.pu.busyCycles += cost;
+    tile.pu.ops += ctx.opsCharged();
+    tile.pu.sramReads += ctx.readsCharged();
+    tile.pu.sramWrites += ctx.writesCharged();
+    ++tile.pu.invocations;
+    ++tile.taskInvocations[t];
+    // Only invocations that move queue state count as progress; an
+    // invocation that cannot act must not placate the deadlock
+    // watchdog.
+    if (def.preload || ctx.mutations() > 0)
+        lastProgress_ = now;
+}
+
+RunStats
+Machine::run(App& app)
+{
+    panic_if(ran_, "Machine::run is one-shot; build a new Machine");
+    ran_ = true;
+
+    app.configure(*this);
+    finalizeQueues();
+
+    NocConfig noc_config;
+    noc_config.topology = config_.topology;
+    noc_config.width = config_.width;
+    noc_config.height = config_.height;
+    noc_config.rucheFactor = config_.rucheFactor;
+    noc_config.bufferSlots = config_.nocBufferSlots;
+    noc_config.numChannels =
+        std::max<std::uint32_t>(1,
+                                static_cast<std::uint32_t>(
+                                    channelDefs_.size()));
+    for (std::size_t c = 0; c < channelDefs_.size(); ++c)
+        noc_config.msgWords[c] = channelDefs_[c].numWords;
+    if (channelDefs_.empty())
+        noc_config.msgWords[0] = 1;
+    network_ = std::make_unique<Network>(
+        noc_config,
+        [this](const Message& msg) { return deliver(msg); },
+        [this](TileId tile, ChannelId channel) {
+            tiles_[tile].injectStalledMask &=
+                ~(std::uint8_t(1) << channel);
+        });
+
+    app.start(*this);
+
+    const bool use_barrier = config_.barrier || app.needsBarrier();
+    const Cycle idle_latency =
+        2 * log2Ceil(std::max<std::uint64_t>(2, config_.numTiles())) + 2;
+    const Cycle barrier_latency =
+        idle_latency + config_.width + config_.height;
+
+    stats_.epochs = 1;
+    lastProgress_ = 0;
+
+    for (now_ = 0;; ++now_) {
+        network_->step(now_);
+        for (Tile& tile : tiles_) {
+            if (tile.quiet(now_))
+                continue;
+            injectFromCqs(tile, now_);
+            stepPu(tile, now_);
+        }
+
+        if (allIdle()) {
+            // Drain the tail: the last tasks' busy time still counts.
+            Cycle last_busy = now_;
+            for (const Tile& tile : tiles_)
+                last_busy = std::max(last_busy, tile.pu.busyUntil);
+            now_ = last_busy;
+            if (use_barrier && app.startEpoch(*this)) {
+                now_ += barrier_latency;
+                ++stats_.epochs;
+                lastProgress_ = now_;
+                continue;
+            }
+            break;
+        }
+
+        panic_if(now_ - lastProgress_ > config_.watchdogCycles,
+                 "no progress for ", config_.watchdogCycles,
+                 " cycles at cycle ", now_, ": pendingIq=", pendingIq_,
+                 " pendingCq=", pendingCq_, " inFlight=",
+                 network_->inFlight(), " — deadlock?");
+        panic_if(config_.maxCycles != 0 && now_ > config_.maxCycles,
+                 "exceeded maxCycles = ", config_.maxCycles);
+
+        // Exactness-preserving fast-forward: if this cycle had no
+        // activity and the network is empty, nothing can happen until
+        // the next timed event — a PU completing its task or an
+        // injection port finishing serialization. Jump there. (Every
+        // other wake-up is event-driven and thus implies activity.)
+        if (network_->quiescent() && lastProgress_ != now_) {
+            Cycle next = ~Cycle(0);
+            for (const Tile& tile : tiles_) {
+                if (tile.pu.busyUntil > now_)
+                    next = std::min(next, tile.pu.busyUntil);
+                if (tile.pendingCqEntries > 0) {
+                    const Cycle free_at =
+                        network_->injectFreeAt(tile.id);
+                    if (free_at > now_)
+                        next = std::min(next, free_at);
+                }
+            }
+            if (next != ~Cycle(0) && next > now_ + 1)
+                now_ = next - 1; // loop increment lands on `next`
+        }
+    }
+
+    stats_.cycles = now_ + idle_latency;
+    stats_.invocationsPerTask.assign(taskDefs_.size(), 0);
+    stats_.puBusyPerTile.resize(tiles_.size());
+    for (TileId t = 0; t < tiles_.size(); ++t) {
+        const Tile& tile = tiles_[t];
+        stats_.puBusyPerTile[t] = tile.pu.busyCycles;
+        stats_.puBusyCycles += tile.pu.busyCycles;
+        stats_.puOps += tile.pu.ops;
+        stats_.sramReads += tile.pu.sramReads;
+        stats_.sramWrites += tile.pu.sramWrites;
+        stats_.invocations += tile.pu.invocations;
+        for (std::size_t k = 0; k < taskDefs_.size(); ++k)
+            stats_.invocationsPerTask[k] += tile.taskInvocations[k];
+        const std::uint64_t bytes = tile.scratchpadBytes();
+        stats_.scratchpadBytesTotal += bytes;
+        stats_.scratchpadBytesMax =
+            std::max(stats_.scratchpadBytesMax, bytes);
+    }
+    stats_.noc = network_->stats();
+    stats_.routerActivePerTile = network_->routerActiveCycles();
+    return stats_;
+}
+
+} // namespace dalorex

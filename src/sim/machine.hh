@@ -1,0 +1,308 @@
+/**
+ * @file
+ * The Dalorex machine: a 2D grid of processing tiles connected by the
+ * NoC, simulated cycle by cycle.
+ *
+ * Each cycle the engine (1) advances the network, (2) drains channel
+ * queues into the network at every tile (the router's local input
+ * port), and (3) lets each idle PU's TSU pick and execute a runnable
+ * task, charging its cycle cost. Termination follows the paper's
+ * hierarchical idle signal: when every queue, PU and router is empty,
+ * the run completes after an idle-tree detection latency; in
+ * epoch-synchronized mode the host instead triggers the next epoch
+ * (Sec. III-C).
+ *
+ * The ablation ladder of Fig. 5 maps onto MachineConfig knobs:
+ * distribution (Uniform-Distr), policy (Traffic-Aware), topology
+ * (Torus-NoC), barrier + invokeOverhead (Data-Local vs Basic-TSU).
+ */
+
+#ifndef DALOREX_SIM_MACHINE_HH
+#define DALOREX_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/partition.hh"
+#include "noc/network.hh"
+#include "sim/app.hh"
+#include "tile/task.hh"
+#include "tile/tile.hh"
+#include "tile/tsu.hh"
+
+namespace dalorex
+{
+
+/** Static configuration of one Dalorex machine instance. */
+struct MachineConfig
+{
+    std::uint32_t width = 16;
+    std::uint32_t height = 16;
+    NocTopology topology = NocTopology::torus;
+    std::uint32_t rucheFactor = 0;    //!< for torusRuche
+    std::uint32_t nocBufferSlots = 4; //!< per (port, channel), messages
+    SchedPolicy policy = SchedPolicy::trafficAware;
+    TsuThresholds thresholds{};
+    Distribution distribution = Distribution::lowOrder;
+    /** Run epoch-synchronized (global barrier between epochs). */
+    bool barrier = false;
+    /**
+     * Extra cycles charged per task invocation: 50 models Tesseract's
+     * interrupting remote calls (ablation Data-Local); 0 models the
+     * TSU's non-interrupting invocation.
+     */
+    std::uint32_t invokeOverhead = 0;
+    /** Abort if this many cycles pass without progress (deadlock). */
+    Cycle watchdogCycles = 1'000'000;
+    /** Hard cycle limit (0 = none); panic when exceeded. */
+    Cycle maxCycles = 0;
+    /**
+     * Fabrication-time scratchpad capacity per tile in bytes; 0 sizes
+     * tiles to their actual usage (the Fig. 6 energy study). The
+     * Fig. 5 16x16 comparison provisions 4.2MB per tile (Sec. IV-B),
+     * which sets SRAM leakage and the tile side length (NoC wire
+     * energy) regardless of dataset footprint.
+     */
+    std::uint64_t scratchpadProvisionBytes = 0;
+
+    std::uint32_t numTiles() const { return width * height; }
+};
+
+/** Everything measured during one run (energy model input). */
+struct RunStats
+{
+    Cycle cycles = 0;             //!< total runtime incl. idle detect
+    std::uint32_t epochs = 1;     //!< barrier mode: epochs executed
+    std::uint64_t invocations = 0;
+    std::vector<std::uint64_t> invocationsPerTask;
+
+    std::uint64_t puBusyCycles = 0; //!< sum over tiles
+    std::uint64_t puOps = 0;        //!< ALU/control ops, all tiles
+    std::uint64_t sramReads = 0;    //!< PU scratchpad word reads
+    std::uint64_t sramWrites = 0;   //!< PU scratchpad word writes
+    std::uint64_t tsuReads = 0;     //!< TSU queue-port word reads
+    std::uint64_t tsuWrites = 0;    //!< TSU queue-port word writes
+    std::uint64_t localBypassMsgs = 0; //!< OQ->IQ same-tile deliveries
+    std::uint64_t edgesProcessed = 0;  //!< app-counted edge visits
+
+    NocStats noc;
+
+    std::uint64_t scratchpadBytesTotal = 0;
+    std::uint64_t scratchpadBytesMax = 0; //!< largest tile footprint
+
+    /** Per-tile PU busy cycles (Fig. 10 heatmap). */
+    std::vector<Cycle> puBusyPerTile;
+    /** Per-tile router active cycles (Fig. 10 heatmap). */
+    std::vector<Cycle> routerActivePerTile;
+
+    /** Mean PU utilization in [0, 1]. */
+    double utilization() const;
+    /** All scratchpad word accesses (memory-bandwidth numerator). */
+    std::uint64_t
+    memAccesses() const
+    {
+        return sramReads + sramWrites + tsuReads + tsuWrites;
+    }
+};
+
+/**
+ * Execution context handed to a task body. All scratchpad traffic and
+ * ALU work the task performs must be charged through it; the PU stays
+ * busy for the accumulated cycle count.
+ */
+class TaskCtx
+{
+  public:
+    TaskCtx(Machine& machine, Tile& tile, std::uint32_t task);
+
+    /** Pre-loaded parameter i (preload tasks only). */
+    Word
+    param(unsigned i) const
+    {
+        return params_[i];
+    }
+
+    /** Peek the head entry of this task's IQ without popping (T1). */
+    const Word* peek() const;
+    /** Pop the head entry of this task's IQ (T1 once done). */
+    void pop();
+
+    /** Free message slots in a channel queue (T1's !CQ1.full). */
+    std::uint32_t cqFree(ChannelId channel) const;
+
+    /**
+     * Emit a message on `channel`: the head flit is the *global* index
+     * into the channel's distributed array (the head encoder derives
+     * destination tile + local index), `rest` are the remaining
+     * parameter flits. The channel queue must have space — TSU
+     * guarantee or a prior cqFree() check. Charges one store per flit.
+     */
+    void send(ChannelId channel, Word index,
+              std::initializer_list<Word> rest);
+
+    /** Free entries in a local task's IQ (T4's !IQ1.full). */
+    std::uint32_t iqFree(TaskId task) const;
+
+    /** Enqueue into a same-tile task's IQ (T3 -> IQ4, T4 -> IQ1). */
+    void enqueueLocal(TaskId task, std::initializer_list<Word> words);
+
+    /** Charge ALU/control operations (1 cycle each). */
+    void
+    charge(std::uint32_t ops)
+    {
+        ops_ += ops;
+    }
+
+    /** Charge scratchpad word reads (1 cycle each). */
+    void
+    read(std::uint32_t n = 1)
+    {
+        reads_ += n;
+    }
+
+    /** Charge scratchpad word writes (1 cycle each). */
+    void
+    write(std::uint32_t n = 1)
+    {
+        writes_ += n;
+    }
+
+    /** Count app-level edge visits (throughput metric of Fig. 7). */
+    void countEdges(std::uint64_t n);
+
+    /** Total cycles accumulated so far. */
+    std::uint32_t
+    cyclesCharged() const
+    {
+        return ops_ + reads_ + writes_;
+    }
+
+    std::uint32_t opsCharged() const { return ops_; }
+    std::uint32_t readsCharged() const { return reads_; }
+    std::uint32_t writesCharged() const { return writes_; }
+
+    /** Queue pushes/pops performed (watchdog progress signal). */
+    std::uint32_t mutations() const { return mutations_; }
+
+  private:
+    friend class Machine;
+
+    Machine& machine_;
+    Tile& tile_;
+    std::uint32_t task_;
+    const Word* params_ = nullptr;
+    std::uint32_t ops_ = 0;
+    std::uint32_t reads_ = 0;
+    std::uint32_t writes_ = 0;
+    std::uint32_t mutations_ = 0;
+};
+
+/** The simulated Dalorex chip. */
+class Machine
+{
+  public:
+    /**
+     * @param config       Machine shape and policy knobs.
+     * @param num_vertices Dataset vertex count (partitioning).
+     * @param num_edges    Dataset edge count (partitioning).
+     */
+    Machine(const MachineConfig& config, VertexId num_vertices,
+            EdgeId num_edges);
+
+    // --- registration (App::configure) ----------------------------
+    /** Register a task; returns its TaskId (registration order). */
+    TaskId addTask(TaskDef def);
+    /** Register a channel; returns its ChannelId. */
+    ChannelId addChannel(ChannelDef def);
+    /** Install per-tile app state. */
+    void setTileState(TileId tile,
+                      std::unique_ptr<AppTileState> state);
+    /** Account `words` of scratchpad data on a tile. */
+    void addDataWords(TileId tile, std::uint64_t words);
+
+    // --- host operations (seeding / epoch control) ----------------
+    /** Host-side push into a tile's IQ (program load; not charged). */
+    void seed(TileId tile, TaskId task,
+              std::initializer_list<Word> words);
+    /** Charge host-triggered per-tile work (epoch bitmap scans). */
+    void hostCharge(TileId tile, std::uint32_t ops, std::uint32_t reads,
+                    std::uint32_t writes);
+
+    // --- run -------------------------------------------------------
+    /** Execute the app to completion; callable once per Machine. */
+    RunStats run(App& app);
+
+    // --- accessors ---------------------------------------------------
+    const MachineConfig& config() const { return config_; }
+    const Partition& partition() const { return partition_; }
+    std::uint32_t numTiles() const { return config_.numTiles(); }
+    Tile& tile(TileId t) { return tiles_[t]; }
+    const Tile& tileRef(TileId t) const { return tiles_[t]; }
+
+    /** App state of a tile, downcast to the app's type. */
+    template <typename StateT>
+    StateT&
+    state(TileId t)
+    {
+        return static_cast<StateT&>(*tiles_[t].state);
+    }
+
+    /** App state of the tile a TaskCtx runs on. */
+    template <typename StateT>
+    StateT&
+    state(const Tile& tile)
+    {
+        return static_cast<StateT&>(*tiles_[tile.id].state);
+    }
+
+    const std::vector<TaskDef>& taskDefs() const { return taskDefs_; }
+    const std::vector<ChannelDef>&
+    channelDefs() const
+    {
+        return channelDefs_;
+    }
+
+  private:
+    friend class TaskCtx;
+
+    /** Deliver a network message into its target task's IQ. */
+    bool deliver(const Message& msg);
+    /** Move at most one CQ message into the network / local IQ. */
+    void injectFromCqs(Tile& tile, Cycle now);
+    /** Let the TSU invoke one task if the PU is idle. */
+    void stepPu(Tile& tile, Cycle now);
+    /** Size all queues after registration. */
+    void finalizeQueues();
+    /** Global idle check (exact outstanding-work counters). */
+    bool
+    allIdle() const
+    {
+        return pendingIq_ == 0 && pendingCq_ == 0 &&
+               network_ && network_->quiescent();
+    }
+
+    MachineConfig config_;
+    Partition partition_;
+    std::vector<TaskDef> taskDefs_;
+    std::vector<ChannelDef> channelDefs_;
+    std::vector<Tile> tiles_;
+    std::unique_ptr<Network> network_;
+
+    bool finalized_ = false;
+    bool ran_ = false;
+    Cycle now_ = 0;
+
+    // Exact outstanding-work accounting for idle detection.
+    std::uint64_t pendingIq_ = 0;
+    std::uint64_t pendingCq_ = 0;
+    Cycle lastProgress_ = 0;
+
+    RunStats stats_;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_SIM_MACHINE_HH

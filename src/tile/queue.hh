@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Circular FIFO queues carved out of the tile scratchpad.
+ *
+ * "The queues are implemented as circular FIFOs using the scratchpad.
+ * Queue sizes are configured at runtime based on the number of entries
+ * specified next to the task declaration" (Sec. III-E). An entry is one
+ * task invocation: `entryWords` machine words.
+ */
+
+#ifndef DALOREX_TILE_QUEUE_HH
+#define DALOREX_TILE_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "noc/message.hh"
+
+namespace dalorex
+{
+
+/** A FIFO of fixed-width word entries (task input queues). */
+class WordQueue
+{
+  public:
+    WordQueue() = default;
+
+    /** Size the queue: `capacity` entries of `entry_words` words. */
+    void
+    init(std::uint32_t entry_words, std::uint32_t capacity)
+    {
+        panic_if(entry_words == 0 || entry_words > maxMsgWords,
+                 "queue entry width out of range: ", entry_words);
+        panic_if(capacity == 0, "queue capacity must be positive");
+        entryWords_ = entry_words;
+        capacity_ = capacity;
+        storage_.assign(std::size_t(entry_words) * capacity, 0);
+        head_ = count_ = 0;
+    }
+
+    std::uint32_t entryWords() const { return entryWords_; }
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t count() const { return count_; }
+    std::uint32_t freeEntries() const { return capacity_ - count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == capacity_; }
+
+    /** Occupancy as a fraction of capacity (TSU priority sensor). */
+    double
+    occupancy() const
+    {
+        return static_cast<double>(count_) / capacity_;
+    }
+
+    /**
+     * Set the "nearly full" watermark in entries. The TSU compares
+     * integer counts in its scheduling hot path instead of occupancy
+     * fractions.
+     */
+    void setHighMark(std::uint32_t mark) { highMark_ = mark; }
+
+    /** True when occupancy has reached the high watermark. */
+    bool nearlyFull() const { return count_ >= highMark_; }
+
+    /** Scratchpad bytes this queue occupies. */
+    std::uint32_t
+    storageBytes() const
+    {
+        return entryWords_ * capacity_ * wordBytes;
+    }
+
+    /** Append one entry of entryWords() words. panic() when full. */
+    void
+    push(const Word* words)
+    {
+        panic_if(full(), "push to full queue");
+        const std::size_t base =
+            std::size_t((head_ + count_) % capacity_) * entryWords_;
+        for (std::uint32_t w = 0; w < entryWords_; ++w)
+            storage_[base + w] = words[w];
+        ++count_;
+    }
+
+    /** Pointer to the oldest entry (Listing 1's peek). */
+    const Word*
+    front() const
+    {
+        panic_if(empty(), "front of empty queue");
+        return &storage_[std::size_t(head_) * entryWords_];
+    }
+
+    /** Drop the oldest entry (Listing 1's pop). */
+    void
+    pop()
+    {
+        panic_if(empty(), "pop of empty queue");
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+    }
+
+  private:
+    std::vector<Word> storage_;
+    std::uint32_t entryWords_ = 0;
+    std::uint32_t capacity_ = 0;
+    std::uint32_t head_ = 0;
+    std::uint32_t count_ = 0;
+    std::uint32_t highMark_ = ~std::uint32_t(0);
+};
+
+/** A FIFO of encoded outbound messages (channel queues). */
+class MsgQueue
+{
+  public:
+    MsgQueue() = default;
+
+    void
+    init(std::uint32_t entry_words, std::uint32_t capacity)
+    {
+        panic_if(capacity == 0, "queue capacity must be positive");
+        entryWords_ = entry_words;
+        capacity_ = capacity;
+        storage_.assign(capacity, Message{});
+        head_ = count_ = 0;
+    }
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t count() const { return count_; }
+    std::uint32_t freeEntries() const { return capacity_ - count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == capacity_; }
+
+    double
+    occupancy() const
+    {
+        return static_cast<double>(count_) / capacity_;
+    }
+
+    /** Set the "nearly empty" watermark in entries. */
+    void setLowMark(std::uint32_t mark) { lowMark_ = mark; }
+
+    /** True when occupancy is at or below the low watermark. */
+    bool nearlyEmpty() const { return count_ <= lowMark_; }
+
+    std::uint32_t
+    storageBytes() const
+    {
+        return entryWords_ * capacity_ * wordBytes;
+    }
+
+    void
+    push(const Message& msg)
+    {
+        panic_if(full(), "push to full channel queue");
+        storage_[(head_ + count_) % capacity_] = msg;
+        ++count_;
+    }
+
+    const Message&
+    front() const
+    {
+        panic_if(empty(), "front of empty channel queue");
+        return storage_[head_];
+    }
+
+    void
+    pop()
+    {
+        panic_if(empty(), "pop of empty channel queue");
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+    }
+
+  private:
+    std::vector<Message> storage_;
+    std::uint32_t entryWords_ = 0;
+    std::uint32_t capacity_ = 0;
+    std::uint32_t head_ = 0;
+    std::uint32_t count_ = 0;
+    std::uint32_t lowMark_ = 0;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_TILE_QUEUE_HH

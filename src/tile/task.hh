@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Task and channel declarations of the Dalorex programming model.
+ *
+ * A program is a set of tasks (T1..T4 in Listing 1) plus the network
+ * channels connecting a task's output to the next task's input queue on
+ * the tile owning the target datum. "Declaring a task requires the
+ * length of its IQ and whether its parameters are loaded before the
+ * invocation" (Listing 1).
+ */
+
+#ifndef DALOREX_TILE_TASK_HH
+#define DALOREX_TILE_TASK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dalorex
+{
+
+class Machine;
+class Tile;
+class TaskCtx;
+
+/** Sentinel: task writes no network channel. */
+constexpr ChannelId noChannel = 0xff;
+
+/** Sentinel: task writes no same-tile input queue. */
+constexpr TaskId noLocalTask = 0xff;
+
+/** The body of a task, executed by the PU at the data's tile. */
+using TaskFn = void (*)(Machine& machine, Tile& tile, TaskCtx& ctx);
+
+/** Static task configuration held in the TSU's task table. */
+struct TaskDef
+{
+    std::string name;
+    /** Words per input-queue entry (the task's parameter count). */
+    std::uint8_t paramWords = 1;
+    /**
+     * Whether the TSU pops the IQ entry and hands the parameters to
+     * the task ("Task parameters are loaded by TSU before the task
+     * begins"). When false the task peeks/pops explicitly and may keep
+     * the entry across invocations for partial progress (T1 style).
+     */
+    bool preload = true;
+    /** Input-queue capacity in entries (Listing 1's [N]). */
+    std::uint32_t iqCapacity = 128;
+    /** Channel this task writes, or noChannel. */
+    ChannelId outChannel = noChannel;
+    /**
+     * Worst-case messages emitted per invocation. When > 0 the TSU
+     * only invokes the task if the output channel queue has this many
+     * free entries (the Listing 1 OQT2 guarantee). When 0 the task
+     * self-throttles by checking the queue inside its body; the TSU
+     * still requires at least one free entry so a throttled task never
+     * busy-spins on the PU.
+     */
+    std::uint32_t maxOutMsgs = 0;
+    /**
+     * Same-tile IQ this task pushes into (Fig. 4 shows T4's output
+     * queue is IQ1), or noLocalTask. The TSU requires one free entry
+     * before invoking, preventing busy-spin on a full local queue.
+     */
+    TaskId outLocalTask = noLocalTask;
+    /**
+     * Whether a network channel feeds this task's IQ (derived at
+     * finalize). The Data-Local ablation charges its interrupting
+     * remote-call penalty only on such tasks — local invocations
+     * (T4 -> T1) never interrupted anyone in Tesseract either.
+     */
+    bool channelFed = false;
+    TaskFn fn = nullptr;
+};
+
+/** Which distributed array's index the head flit carries. */
+enum class HeadEncode
+{
+    vertex, //!< destination = owner of a vertex-distributed array slot
+    edge,   //!< destination = owner of an edge-distributed array slot
+};
+
+/** Static channel configuration held in the TSU's channel table. */
+struct ChannelDef
+{
+    std::string name;
+    /** Flits per message = head index + parameters. */
+    std::uint8_t numWords = 2;
+    /** Task whose IQ receives the message at the destination. */
+    TaskId targetTask = 0;
+    /** Head-flit index domain (chunk table used by the head encoder). */
+    HeadEncode encode = HeadEncode::vertex;
+    /** Sender-side channel-queue capacity in messages. */
+    std::uint32_t cqCapacity = 128;
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_TILE_TASK_HH

@@ -1,0 +1,122 @@
+#include "tile/tsu.hh"
+
+#include <algorithm>
+
+namespace dalorex
+{
+
+const char*
+toString(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::roundRobin:
+        return "round-robin";
+      case SchedPolicy::trafficAware:
+        return "traffic-aware";
+    }
+    return "?";
+}
+
+bool
+taskRunnable(const Tile& tile, const std::vector<TaskDef>& defs,
+             std::uint32_t t)
+{
+    const TaskDef& def = defs[t];
+    if (tile.iqs[t].empty())
+        return false;
+    if (def.outChannel != noChannel) {
+        // TSU guarantee (maxOutMsgs > 0) or, for self-throttling
+        // tasks, at least one entry so an invocation can progress.
+        const std::uint32_t needed = std::max(def.maxOutMsgs, 1u);
+        if (tile.cqs[def.outChannel].freeEntries() < needed)
+            return false;
+    }
+    if (def.outLocalTask != noLocalTask &&
+        tile.iqs[def.outLocalTask].full()) {
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Priority classes of the occupancy-based policy; higher wins. */
+enum : int
+{
+    prioLow = 0,
+    prioMedium = 1,
+    prioHigh = 2,
+};
+
+int
+taskPriority(const Tile& tile, const TaskDef& def, std::uint32_t t)
+{
+    // "high priority if its IQ is nearly full"
+    if (tile.iqs[t].nearlyFull())
+        return prioHigh;
+    // Frontier re-exploration (a task feeding a same-tile IQ, i.e.
+    // T4) stays low priority: letting pending updates drain into the
+    // bitmap before vertices are re-explored is what preserves work
+    // efficiency in the barrierless flow — eager exploration would
+    // propagate stale values (Sec. I: the TSU's closed loop exists
+    // "to achieve work efficiency ... as this varies with task flow
+    // order").
+    if (def.outLocalTask != noLocalTask)
+        return prioLow;
+    // "medium priority if its OQ is nearly empty". Tasks with no
+    // network output (T3: apply the update locally) rank medium by
+    // default: draining updates promptly also curbs staleness.
+    if (def.outChannel == noChannel ||
+        tile.cqs[def.outChannel].nearlyEmpty()) {
+        return prioMedium;
+    }
+    return prioLow;
+}
+
+} // namespace
+
+std::uint32_t
+pickTask(Tile& tile, const std::vector<TaskDef>& defs,
+         SchedPolicy policy)
+{
+    const auto num_tasks = static_cast<std::uint32_t>(defs.size());
+
+    if (policy == SchedPolicy::roundRobin) {
+        for (std::uint32_t i = 0; i < num_tasks; ++i) {
+            const std::uint32_t t =
+                (tile.rrNext + i) % num_tasks;
+            if (taskRunnable(tile, defs, t)) {
+                tile.rrNext = (t + 1) % num_tasks;
+                return t;
+            }
+        }
+        return noTask;
+    }
+
+    // Traffic-aware: best (priority class, queue size), round-robin
+    // tie-break via the rotating start point.
+    std::uint32_t best = noTask;
+    int best_prio = -1;
+    std::uint32_t best_size = 0;
+    for (std::uint32_t i = 0; i < num_tasks; ++i) {
+        const std::uint32_t t = (tile.rrNext + i) % num_tasks;
+        if (!taskRunnable(tile, defs, t))
+            continue;
+        const int prio = taskPriority(tile, defs[t], t);
+        // "When two or more tasks have high/medium priority, the one
+        // with a larger queue size takes precedence."
+        const std::uint32_t size = tile.iqs[t].capacity();
+        if (prio > best_prio ||
+            (prio == best_prio && size > best_size)) {
+            best = t;
+            best_prio = prio;
+            best_size = size;
+        }
+    }
+    if (best != noTask)
+        tile.rrNext = (best + 1) % num_tasks;
+    return best;
+}
+
+} // namespace dalorex

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Task Scheduling Unit: the arbitration policy that picks the next task
+ * to run on a tile's PU (Sec. III-E).
+ *
+ * A task is *runnable* iff its IQ is non-empty and its output channel
+ * queue has room for the task's worst-case output ("TSU may only invoke
+ * a task if its IQ is not empty and its OQ has sufficient free
+ * entries"). Two policies are modeled:
+ *
+ *  - roundRobin: the `Basic-TSU` ablation point of Fig. 5;
+ *  - trafficAware: the paper's occupancy-based closed-loop policy —
+ *    high priority when the IQ is nearly full, medium when the OQ is
+ *    nearly empty, low otherwise; ties go to the task with the larger
+ *    configured queue size.
+ */
+
+#ifndef DALOREX_TILE_TSU_HH
+#define DALOREX_TILE_TSU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tile/task.hh"
+#include "tile/tile.hh"
+
+namespace dalorex
+{
+
+/** TSU arbitration policy (Fig. 5: Basic-TSU vs Traffic-Aware). */
+enum class SchedPolicy
+{
+    roundRobin,
+    trafficAware,
+};
+
+const char* toString(SchedPolicy policy);
+
+/**
+ * Occupancy thresholds of the traffic-aware policy. They are baked
+ * into per-queue integer watermarks when the machine finalizes its
+ * queues, keeping the scheduling hot path free of floating point.
+ */
+struct TsuThresholds
+{
+    /** IQ occupancy at or above which a task becomes high priority. */
+    double iqHigh = 0.75;
+    /** OQ occupancy at or below which a task becomes medium priority. */
+    double oqLow = 0.25;
+};
+
+/** Sentinel returned when no task is runnable. */
+constexpr std::uint32_t noTask = ~std::uint32_t(0);
+
+/** True iff task `t` of `defs` can be invoked on `tile` right now. */
+bool taskRunnable(const Tile& tile, const std::vector<TaskDef>& defs,
+                  std::uint32_t t);
+
+/**
+ * Pick the next task to invoke on `tile`, or noTask.
+ * Advances the tile's round-robin pointer on selection. Queue
+ * watermarks (WordQueue::nearlyFull, MsgQueue::nearlyEmpty) must be
+ * configured from the thresholds beforehand.
+ */
+std::uint32_t pickTask(Tile& tile, const std::vector<TaskDef>& defs,
+                       SchedPolicy policy);
+
+} // namespace dalorex
+
+#endif // DALOREX_TILE_TSU_HH

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * The correctness matrix: every kernel, across machine shapes, NoC
+ * topologies, scheduling policies, data placements and barrier modes,
+ * must reproduce the sequential reference output exactly (PageRank
+ * within float tolerance).
+ *
+ * This is the property the paper validates its simulator with
+ * ("correct program outputs over sequential x86 executions",
+ * Sec. IV-A), swept over the configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/graph_app.hh"
+#include "apps/kernels.hh"
+#include "graph/rmat.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+const Csr&
+matrixGraph()
+{
+    static const Csr graph = [] {
+        RmatParams params;
+        params.scale = 10;
+        params.edgeFactor = 8;
+        params.seed = 21;
+        return rmatGraph(params);
+    }();
+    return graph;
+}
+
+void
+expectMatchesReference(const KernelSetup& setup,
+                       const MachineConfig& config)
+{
+    auto app = setup.makeApp();
+    Machine machine(config, setup.graph.numVertices,
+                    setup.graph.numEdges);
+    machine.run(*app);
+    if (setup.kernel == Kernel::pagerank) {
+        const std::vector<double> got = app->gatherFloats(machine);
+        const std::vector<double> want = setup.referenceFloats();
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t v = 0; v < got.size(); ++v) {
+            ASSERT_NEAR(got[v], want[v],
+                        std::max(1e-9, 1e-3 * want[v]))
+                << "vertex " << v;
+        }
+    } else {
+        ASSERT_EQ(app->gatherValues(machine),
+                  setup.referenceWords());
+    }
+}
+
+// ---- kernels x grid shapes -------------------------------------
+
+class KernelGrid
+    : public ::testing::TestWithParam<
+          std::tuple<Kernel, std::pair<int, int>>>
+{
+};
+
+TEST_P(KernelGrid, MatchesReference)
+{
+    const auto [kernel, shape] = GetParam();
+    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    setup.iterations = 4;
+    MachineConfig config;
+    config.width = static_cast<std::uint32_t>(shape.first);
+    config.height = static_cast<std::uint32_t>(shape.second);
+    expectMatchesReference(setup, config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelGrid,
+    ::testing::Combine(
+        ::testing::Values(Kernel::bfs, Kernel::sssp, Kernel::wcc,
+                          Kernel::pagerank, Kernel::spmv),
+        ::testing::Values(std::pair{1, 1}, std::pair{2, 2},
+                          std::pair{8, 2}, std::pair{8, 8})),
+    [](const auto& info) {
+        const Kernel kernel = std::get<0>(info.param);
+        const auto shape = std::get<1>(info.param);
+        return std::string(toString(kernel)) + "_" +
+               std::to_string(shape.first) + "x" +
+               std::to_string(shape.second);
+    });
+
+// ---- kernels x NoC topologies -----------------------------------
+
+class KernelNoc
+    : public ::testing::TestWithParam<std::tuple<Kernel, NocTopology>>
+{
+};
+
+TEST_P(KernelNoc, MatchesReference)
+{
+    const auto [kernel, topology] = GetParam();
+    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    setup.iterations = 4;
+    MachineConfig config;
+    config.width = 8;
+    config.height = 8;
+    config.topology = topology;
+    if (topology == NocTopology::torusRuche)
+        config.rucheFactor = 2;
+    expectMatchesReference(setup, config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, KernelNoc,
+    ::testing::Combine(
+        ::testing::Values(Kernel::bfs, Kernel::sssp, Kernel::wcc,
+                          Kernel::pagerank, Kernel::spmv),
+        ::testing::Values(NocTopology::mesh, NocTopology::torus,
+                          NocTopology::torusRuche)),
+    [](const auto& info) {
+        std::string name =
+            std::string(toString(std::get<0>(info.param))) + "_" +
+            toString(std::get<1>(info.param));
+        for (auto& ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+// ---- kernels x {policy, distribution, barrier, overhead} --------
+
+struct ModeCase
+{
+    const char* name;
+    SchedPolicy policy;
+    Distribution distribution;
+    bool barrier;
+    std::uint32_t overhead;
+};
+
+class KernelMode
+    : public ::testing::TestWithParam<std::tuple<Kernel, ModeCase>>
+{
+};
+
+TEST_P(KernelMode, MatchesReference)
+{
+    const auto [kernel, mode] = GetParam();
+    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    setup.iterations = 4;
+    MachineConfig config;
+    config.width = 4;
+    config.height = 4;
+    config.policy = mode.policy;
+    config.distribution = mode.distribution;
+    config.barrier = mode.barrier;
+    config.invokeOverhead = mode.overhead;
+    expectMatchesReference(setup, config);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, KernelMode,
+    ::testing::Combine(
+        ::testing::Values(Kernel::bfs, Kernel::sssp, Kernel::wcc,
+                          Kernel::pagerank, Kernel::spmv),
+        ::testing::Values(
+            ModeCase{"roundrobin", SchedPolicy::roundRobin,
+                     Distribution::lowOrder, false, 0},
+            ModeCase{"highorder", SchedPolicy::trafficAware,
+                     Distribution::highOrder, false, 0},
+            ModeCase{"barrier", SchedPolicy::trafficAware,
+                     Distribution::lowOrder, true, 0},
+            ModeCase{"interrupting", SchedPolicy::roundRobin,
+                     Distribution::highOrder, true, 50})),
+    [](const auto& info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               std::get<1>(info.param).name;
+    });
+
+// ---- queue sizing sweeps ----------------------------------------
+
+class KernelQueues
+    : public ::testing::TestWithParam<std::tuple<Kernel, int>>
+{
+};
+
+TEST_P(KernelQueues, TinyQueuesStillCorrect)
+{
+    const auto [kernel, oqt2] = GetParam();
+    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    setup.iterations = 3;
+    auto app = setup.makeApp();
+    QueueSizing sizing;
+    sizing.iq1 = 4;
+    sizing.iq2 = 8;
+    sizing.iq3 = 16;
+    sizing.cq1 = 4;
+    sizing.oqt2 = static_cast<std::uint32_t>(oqt2);
+    sizing.cq2 = static_cast<std::uint32_t>(2 * oqt2);
+    app->setQueueSizing(sizing);
+    MachineConfig config;
+    config.width = 4;
+    config.height = 4;
+    Machine machine(config, setup.graph.numVertices,
+                    setup.graph.numEdges);
+    machine.run(*app);
+    if (kernel == Kernel::pagerank) {
+        const std::vector<double> want = setup.referenceFloats();
+        const std::vector<double> got = app->gatherFloats(machine);
+        for (std::size_t v = 0; v < got.size(); ++v)
+            ASSERT_NEAR(got[v], want[v],
+                        std::max(1e-9, 1e-3 * want[v]));
+    } else {
+        ASSERT_EQ(app->gatherValues(machine),
+                  setup.referenceWords());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KernelQueues,
+    ::testing::Combine(::testing::Values(Kernel::bfs, Kernel::sssp,
+                                         Kernel::wcc, Kernel::spmv,
+                                         Kernel::pagerank),
+                       ::testing::Values(4, 32)),
+    [](const auto& info) {
+        return std::string(toString(std::get<0>(info.param))) +
+               "_oqt2_" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---- seeds / graph shapes ---------------------------------------
+
+class KernelSeeds : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KernelSeeds, RandomGraphsAllKernels)
+{
+    RmatParams params;
+    params.scale = 8;
+    params.edgeFactor = 6;
+    params.seed = static_cast<std::uint64_t>(GetParam());
+    const Csr graph = rmatGraph(params);
+    for (const Kernel kernel : allKernels()) {
+        KernelSetup setup = makeKernelSetup(
+            kernel, graph, static_cast<std::uint64_t>(GetParam()));
+        setup.iterations = 3;
+        MachineConfig config;
+        config.width = 4;
+        config.height = 4;
+        expectMatchesReference(setup, config);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelSeeds,
+                         ::testing::Range(1, 9));
+
+// ---- special graph shapes ---------------------------------------
+
+TEST(KernelEdgeCases, PathGraphAllKernels)
+{
+    EdgeList edges;
+    for (VertexId v = 0; v + 1 < 300; ++v)
+        edges.emplace_back(v, v + 1);
+    const Csr graph = buildCsr(300, edges);
+    for (const Kernel kernel : allKernels()) {
+        KernelSetup setup = makeKernelSetup(kernel, graph);
+        setup.iterations = 3;
+        MachineConfig config;
+        config.width = 4;
+        config.height = 2;
+        expectMatchesReference(setup, config);
+    }
+}
+
+TEST(KernelEdgeCases, StarGraphAllKernels)
+{
+    EdgeList edges;
+    for (VertexId v = 1; v < 400; ++v) {
+        edges.emplace_back(0, v);
+        if (v % 2 == 0)
+            edges.emplace_back(v, 0);
+    }
+    const Csr graph = buildCsr(400, edges);
+    for (const Kernel kernel : allKernels()) {
+        KernelSetup setup = makeKernelSetup(kernel, graph);
+        setup.iterations = 3;
+        MachineConfig config;
+        config.width = 4;
+        config.height = 4;
+        expectMatchesReference(setup, config);
+    }
+}
+
+TEST(KernelEdgeCases, DisconnectedComponents)
+{
+    EdgeList edges;
+    // Three islands of 100 vertices.
+    for (VertexId base : {0u, 100u, 200u})
+        for (VertexId v = 0; v + 1 < 100; ++v)
+            edges.emplace_back(base + v, base + v + 1);
+    const Csr graph = buildCsr(300, edges);
+    for (const Kernel kernel : allKernels()) {
+        KernelSetup setup = makeKernelSetup(kernel, graph);
+        setup.iterations = 3;
+        MachineConfig config;
+        config.width = 2;
+        config.height = 2;
+        expectMatchesReference(setup, config);
+    }
+}
+
+} // namespace
+} // namespace dalorex

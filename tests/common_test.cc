@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, RNG, statistics
+ * and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(1023), 9u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(Bits, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(divCeil(1, 100), 1u);
+    EXPECT_EQ(divCeil(0, 5), 0u);
+}
+
+TEST(Bits, MaskInOut)
+{
+    Word w = 0;
+    w = maskInBit(w, 5);
+    EXPECT_EQ(w, 32u);
+    w = maskInBit(w, 0);
+    EXPECT_EQ(w, 33u);
+    w = maskOutBit(w, 5);
+    EXPECT_EQ(w, 1u);
+    w = maskOutBit(w, 0);
+    EXPECT_EQ(w, 0u);
+}
+
+TEST(Bits, SearchMsb)
+{
+    EXPECT_EQ(searchMsb(1), 0u);
+    EXPECT_EQ(searchMsb(2), 1u);
+    EXPECT_EQ(searchMsb(3), 1u);
+    EXPECT_EQ(searchMsb(0x80000000u), 31u);
+}
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next64() == b.next64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = rng.range(3, 6);
+        EXPECT_GE(x, 3u);
+        EXPECT_LE(x, 6u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values occur
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GiniBalancedIsZero)
+{
+    EXPECT_DOUBLE_EQ(giniCoefficient({3.0, 3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Stats, GiniSkewedIsLarge)
+{
+    // One element holds everything: gini -> (n-1)/n.
+    const double g = giniCoefficient({0.0, 0.0, 0.0, 10.0});
+    EXPECT_NEAR(g, 0.75, 1e-9);
+}
+
+TEST(Stats, ImbalanceFactor)
+{
+    EXPECT_DOUBLE_EQ(imbalanceFactor({1.0, 1.0, 4.0}), 2.0);
+    EXPECT_DOUBLE_EQ(imbalanceFactor({}), 1.0);
+}
+
+TEST(Stats, HistogramBinsAndPercentile)
+{
+    Histogram h(10);
+    for (std::uint64_t v = 0; v < 10; ++v)
+        for (std::uint64_t k = 0; k <= v; ++k)
+            h.add(v);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 10u);
+    EXPECT_EQ(h.totalCount(), 55u);
+    EXPECT_EQ(h.percentile(1.0), 9u);
+    EXPECT_LE(h.percentile(0.5), 7u);
+    h.add(1000);
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(Table, TextRendering)
+{
+    Table t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("a"), std::string::npos);
+    EXPECT_NE(text.find("333"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+}
+
+TEST(Table, CsvEscaping)
+{
+    Table t({"x"});
+    t.addRow({"plain"});
+    t.addRow({"with,comma"});
+    t.addRow({"with\"quote"});
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("plain"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Format)
+{
+    EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(Table::fmt(10.0, 0), "10");
+    EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+} // namespace
+} // namespace dalorex

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the energy/area model: tile geometry against the paper's
+ * published numbers, breakdown consistency, provisioning semantics and
+ * topology-dependent wire energy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/graph_app.hh"
+#include "apps/kernels.hh"
+#include "energy/model.hh"
+#include "graph/rmat.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+TEST(Area, TileGeometryMatchesPaper)
+{
+    // Sec. V-A: "The 16x16 Dalorex with a 4.2MB memory per tile uses
+    // much less chip area (305 mm^2)". 29.2 Mb/mm^2 SRAM density.
+    const auto bytes =
+        static_cast<std::uint64_t>(4.2 * 1024 * 1024);
+    const TileGeometry geo =
+        tileGeometry(bytes, NocTopology::torus);
+    MachineConfig config;
+    config.width = 16;
+    config.height = 16;
+    const double chip = chipAreaMm2(config, bytes);
+    EXPECT_NEAR(chip, 305.0, 45.0); // within ~15%
+    EXPECT_GT(geo.sramMm2, 0.8 * geo.totalMm2); // SRAM dominates
+    EXPECT_NEAR(geo.sideMm, 1.1, 0.2);
+}
+
+TEST(Area, TorusCostsMoreThanMesh)
+{
+    const std::uint64_t bytes = 4 << 20;
+    const double mesh =
+        tileGeometry(bytes, NocTopology::mesh).totalMm2;
+    const double torus =
+        tileGeometry(bytes, NocTopology::torus).totalMm2;
+    const double ruche =
+        tileGeometry(bytes, NocTopology::torusRuche).totalMm2;
+    EXPECT_LT(mesh, torus);
+    EXPECT_LT(torus, ruche);
+    // "justifies the area cost of an additional 0.2% of the total
+    // chip area (using 4MB tiles)" — the torus adds well under 1%.
+    EXPECT_LT((torus - mesh) / mesh, 0.01);
+}
+
+RunStats
+sampleRun(MachineConfig& config)
+{
+    RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 6;
+    const Csr graph = rmatGraph(params);
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    config.width = 4;
+    config.height = 4;
+    Machine machine(config, graph.numVertices, graph.numEdges);
+    return machine.run(*app);
+}
+
+TEST(Energy, BreakdownSumsAndPositive)
+{
+    MachineConfig config;
+    const RunStats stats = sampleRun(config);
+    const EnergyBreakdown e = dalorexEnergy(stats, config);
+    EXPECT_GT(e.logicJ, 0.0);
+    EXPECT_GT(e.memoryJ, 0.0);
+    EXPECT_GT(e.networkJ, 0.0);
+    EXPECT_NEAR(e.logicPct() + e.memoryPct() + e.networkPct(), 100.0,
+                1e-6);
+    EXPECT_DOUBLE_EQ(e.totalJ(), e.logicJ + e.memoryJ + e.networkJ);
+}
+
+TEST(Energy, ProvisioningRaisesLeakage)
+{
+    MachineConfig config;
+    const RunStats stats = sampleRun(config);
+    const EnergyBreakdown sized = dalorexEnergy(stats, config);
+    MachineConfig provisioned = config;
+    provisioned.scratchpadProvisionBytes = 8 << 20;
+    const EnergyBreakdown big = dalorexEnergy(stats, provisioned);
+    EXPECT_GT(big.memoryJ, sized.memoryJ);
+    // Bigger tiles also mean longer wires.
+    EXPECT_GT(big.networkJ, sized.networkJ);
+}
+
+TEST(Energy, ScalesWithTechConstants)
+{
+    MachineConfig config;
+    const RunStats stats = sampleRun(config);
+    TechParams tech;
+    const EnergyBreakdown base =
+        dalorexEnergy(stats, config, tech);
+    tech.wirePjPerFlitMm *= 2.0;
+    const EnergyBreakdown wires =
+        dalorexEnergy(stats, config, tech);
+    EXPECT_GT(wires.networkJ, base.networkJ);
+    EXPECT_DOUBLE_EQ(wires.memoryJ, base.memoryJ);
+
+    tech = TechParams{};
+    tech.puDynPjPerOp *= 3.0;
+    const EnergyBreakdown ops = dalorexEnergy(stats, config, tech);
+    EXPECT_GT(ops.logicJ, base.logicJ);
+    EXPECT_DOUBLE_EQ(ops.networkJ, base.networkJ);
+}
+
+TEST(Energy, RunSecondsFollowFrequency)
+{
+    MachineConfig config;
+    const RunStats stats = sampleRun(config);
+    TechParams tech;
+    const double base = runSeconds(stats, tech);
+    EXPECT_DOUBLE_EQ(base,
+                     static_cast<double>(stats.cycles) / 1.0e9);
+    tech.freqHz = 2.0e9;
+    EXPECT_DOUBLE_EQ(runSeconds(stats, tech), base / 2.0);
+}
+
+TEST(Energy, MemoryBandwidthPositiveAndBounded)
+{
+    MachineConfig config;
+    const RunStats stats = sampleRun(config);
+    const double bw = avgMemoryBandwidth(stats);
+    EXPECT_GT(bw, 0.0);
+    // A tile can move at most ~3 words/cycle (PU read+write, TSU
+    // port): 16 tiles * 3 words * 4 B at 1 GHz is a hard roof.
+    EXPECT_LT(bw, 16.0 * 3 * 4 * 1.0e9);
+}
+
+TEST(Energy, EmptyRunIsRejected)
+{
+    MachineConfig config;
+    RunStats empty;
+    EXPECT_DEATH((void)dalorexEnergy(empty, config), "empty run");
+}
+
+} // namespace
+} // namespace dalorex

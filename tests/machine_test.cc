@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Engine-level tests: idle-detection timing, determinism, barrier
+ * epochs, stats conservation, local bypass, and failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hh"
+#include "apps/graph_app.hh"
+#include "apps/kernels.hh"
+#include "graph/reference.hh"
+#include "graph/rmat.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+Csr
+testGraph(unsigned scale = 9)
+{
+    RmatParams params;
+    params.scale = scale;
+    params.edgeFactor = 6;
+    params.seed = 11;
+    return rmatGraph(params);
+}
+
+MachineConfig
+config4x4()
+{
+    MachineConfig config;
+    config.width = 4;
+    config.height = 4;
+    return config;
+}
+
+TEST(Machine, DeterministicRuns)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::sssp, graph);
+
+    auto run_once = [&] {
+        auto app = setup.makeApp();
+        Machine machine(config4x4(), graph.numVertices,
+                        graph.numEdges);
+        return machine.run(*app);
+    };
+    const RunStats a = run_once();
+    const RunStats b = run_once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.puOps, b.puOps);
+    EXPECT_EQ(a.noc.flitHops, b.noc.flitHops);
+    EXPECT_EQ(a.invocations, b.invocations);
+    EXPECT_EQ(a.puBusyPerTile, b.puBusyPerTile);
+}
+
+TEST(Machine, MessageConservation)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    // Every injected message is delivered; nothing is left in flight.
+    EXPECT_EQ(stats.noc.messagesInjected,
+              stats.noc.messagesDelivered);
+    EXPECT_GT(stats.noc.messagesDelivered, 0u);
+}
+
+TEST(Machine, BarrierModeCountsEpochs)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    MachineConfig config = config4x4();
+    config.barrier = true;
+    Machine machine(config, graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    // BFS needs one epoch per reached level.
+    const std::vector<Word> dist = setup.referenceWords();
+    Word max_level = 0;
+    for (const Word d : dist)
+        if (d != infDist)
+            max_level = std::max(max_level, d);
+    EXPECT_GE(stats.epochs, max_level);
+    EXPECT_EQ(app->gatherValues(machine), dist);
+}
+
+TEST(Machine, BarrierlessRunsOneEpoch)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    EXPECT_EQ(stats.epochs, 1u);
+}
+
+TEST(Machine, SingleTileNeedsNoNetwork)
+{
+    const Csr graph = testGraph(8);
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    MachineConfig config;
+    config.width = 1;
+    config.height = 1;
+    Machine machine(config, graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    EXPECT_EQ(stats.noc.flitHops, 0u);
+    EXPECT_GT(stats.localBypassMsgs, 0u);
+    EXPECT_EQ(app->gatherValues(machine), setup.referenceWords());
+}
+
+TEST(Machine, UtilizationBounded)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::spmv, graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    EXPECT_GT(stats.utilization(), 0.0);
+    EXPECT_LE(stats.utilization(), 1.0);
+    for (const Cycle busy : stats.puBusyPerTile)
+        EXPECT_LE(busy, stats.cycles);
+}
+
+TEST(Machine, ScratchpadFootprintReported)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    EXPECT_GT(stats.scratchpadBytesTotal, 0u);
+    EXPECT_GE(stats.scratchpadBytesMax * 16,
+              stats.scratchpadBytesTotal);
+    // Footprint at least covers the dataset arrays:
+    // rowBegin+rowEnd+value per vertex, edgeIdx per edge.
+    EXPECT_GE(stats.scratchpadBytesTotal,
+              (std::uint64_t(graph.numVertices) * 3 +
+               graph.numEdges) *
+                  wordBytes);
+}
+
+TEST(Machine, InvocationsSplitPerTask)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    ASSERT_EQ(stats.invocationsPerTask.size(), 4u);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t n : stats.invocationsPerTask)
+        sum += n;
+    EXPECT_EQ(sum, stats.invocations);
+    // T3 runs once per delivered update; T2 at least once per
+    // explored vertex with edges.
+    EXPECT_GT(stats.invocationsPerTask[2],
+              stats.invocationsPerTask[1]);
+}
+
+TEST(Machine, InterruptOverheadSlowsRun)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+
+    auto cycles_with = [&](std::uint32_t overhead) {
+        auto app = setup.makeApp();
+        MachineConfig config = config4x4();
+        config.invokeOverhead = overhead;
+        Machine machine(config, graph.numVertices, graph.numEdges);
+        return machine.run(*app).cycles;
+    };
+    const Cycle fast = cycles_with(0);
+    const Cycle slow = cycles_with(50);
+    EXPECT_GT(slow, fast * 2);
+}
+
+TEST(Machine, RunIsOneShot)
+{
+    const Csr graph = testGraph(8);
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    machine.run(*app);
+    auto app2 = setup.makeApp();
+    EXPECT_DEATH(machine.run(*app2), "one-shot");
+}
+
+TEST(Machine, MaxCyclesGuard)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    auto app = setup.makeApp();
+    MachineConfig config = config4x4();
+    config.maxCycles = 10; // far too small to finish
+    Machine machine(config, graph.numVertices, graph.numEdges);
+    EXPECT_DEATH(machine.run(*app), "maxCycles");
+}
+
+TEST(Machine, NonSquareGridWorks)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup(Kernel::wcc, graph);
+    auto app = setup.makeApp();
+    MachineConfig config;
+    config.width = 8;
+    config.height = 2;
+    Machine machine(config, setup.graph.numVertices,
+                    setup.graph.numEdges);
+    machine.run(*app);
+    EXPECT_EQ(app->gatherValues(machine), setup.referenceWords());
+}
+
+TEST(Machine, MoreTilesThanVertices)
+{
+    const Csr graph = buildCsr(8, {{0, 1},
+                                   {1, 2},
+                                   {2, 3},
+                                   {3, 4},
+                                   {4, 5},
+                                   {5, 6},
+                                   {6, 7}});
+    BfsApp app(graph, 0);
+    MachineConfig config;
+    config.width = 4;
+    config.height = 4; // 16 tiles, 8 vertices
+    Machine machine(config, graph.numVertices, graph.numEdges);
+    machine.run(app);
+    EXPECT_EQ(app.gatherValues(machine), referenceBfs(graph, 0));
+}
+
+TEST(Machine, CyclesIncludeIdleDetection)
+{
+    // An immediately-finished app still pays the idle-tree latency.
+    const Csr graph = buildCsr(2, {{0, 1}});
+    BfsApp app(graph, 1); // vertex 1 has no out edges
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(app);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_LT(stats.cycles, 200u);
+}
+
+} // namespace
+} // namespace dalorex

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Pinned wormhole timing properties of the NoC: per-hop latency,
+ * link serialization throughput, the pipeline effect (latency hiding
+ * under streaming), and timing determinism — the properties the
+ * paper's "communication is one way only, resembling a software
+ * pipeline" argument rests on (Sec. III-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/network.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+struct Collector
+{
+    std::vector<Cycle> arrivals;
+    Cycle now = 0;
+
+    Network::DeliverFn
+    fn()
+    {
+        return [this](const Message&) {
+            arrivals.push_back(now);
+            return true;
+        };
+    }
+};
+
+NocConfig
+lineConfig(std::uint32_t width)
+{
+    NocConfig config;
+    config.topology = NocTopology::mesh;
+    config.width = width;
+    config.height = 1;
+    config.numChannels = 1;
+    config.msgWords = {2, 0, 0, 0};
+    return config;
+}
+
+Message
+msgTo(TileId dest)
+{
+    Message msg;
+    msg.dest = dest;
+    msg.channel = 0;
+    msg.numWords = 2;
+    return msg;
+}
+
+/** Deliver cycle of a single message over `hops` mesh hops. */
+Cycle
+singleLatency(std::uint32_t hops)
+{
+    Collector sink;
+    Network net(lineConfig(hops + 1), sink.fn());
+    EXPECT_EQ(net.tryInject(msgTo(hops), 0, 0), InjectResult::ok);
+    Cycle cycle = 0;
+    while (!net.quiescent()) {
+        ++cycle;
+        sink.now = cycle;
+        net.step(cycle);
+        if (cycle > 1000)
+            break;
+    }
+    return sink.arrivals.at(0);
+}
+
+TEST(NocTiming, OneCyclePerHop)
+{
+    const Cycle base = singleLatency(1);
+    for (std::uint32_t hops = 2; hops <= 6; ++hops)
+        EXPECT_EQ(singleLatency(hops), base + (hops - 1));
+}
+
+TEST(NocTiming, LinkSerializesAtMessageLength)
+{
+    // A saturated source streams 2-flit messages: steady-state
+    // delivery rate is one message per 2 cycles (1 flit/cycle link).
+    Collector sink;
+    Network net(lineConfig(4), sink.fn());
+    Cycle cycle = 0;
+    unsigned injected = 0;
+    while (injected < 32 || !net.quiescent()) {
+        sink.now = cycle;
+        net.step(cycle);
+        if (injected < 32 &&
+            net.tryInject(msgTo(3), 0, cycle) == InjectResult::ok)
+            ++injected;
+        ++cycle;
+        ASSERT_LT(cycle, 10000u);
+    }
+    ASSERT_EQ(sink.arrivals.size(), 32u);
+    // Steady state: consecutive arrivals exactly 2 cycles apart.
+    for (std::size_t i = 8; i < sink.arrivals.size(); ++i)
+        EXPECT_EQ(sink.arrivals[i] - sink.arrivals[i - 1], 2u);
+}
+
+TEST(NocTiming, PipelineHidesLatency)
+{
+    // The paper's pipeline argument: streaming N messages over h hops
+    // costs ~(h + 2N) cycles, not N x h — distance adds latency once,
+    // not per message.
+    auto total_time = [](std::uint32_t hops, unsigned count) {
+        Collector sink;
+        Network net(lineConfig(hops + 1), sink.fn());
+        Cycle cycle = 0;
+        unsigned injected = 0;
+        while (injected < count || !net.quiescent()) {
+            sink.now = cycle;
+            net.step(cycle);
+            if (injected < count &&
+                net.tryInject(msgTo(hops), 0, cycle) ==
+                    InjectResult::ok)
+                ++injected;
+            ++cycle;
+        }
+        return sink.arrivals.back();
+    };
+    const Cycle near = total_time(1, 64);
+    const Cycle far = total_time(6, 64);
+    // 5 extra hops add ~5 cycles total, far less than 5 x 64.
+    EXPECT_LE(far - near, 8u);
+}
+
+TEST(NocTiming, DeterministicTimestamps)
+{
+    auto run_once = [] {
+        Collector sink;
+        NocConfig config;
+        config.topology = NocTopology::torus;
+        config.width = 4;
+        config.height = 4;
+        config.numChannels = 2;
+        config.msgWords = {3, 2, 0, 0};
+        Network net(config, sink.fn());
+        Cycle cycle = 0;
+        unsigned injected = 0;
+        while (injected < 100 || !net.quiescent()) {
+            sink.now = cycle;
+            net.step(cycle);
+            for (TileId src = 0; src < 16 && injected < 100; ++src) {
+                Message msg;
+                msg.dest = (src * 7 + injected) % 16;
+                msg.channel =
+                    static_cast<ChannelId>(injected % 2);
+                msg.numWords = config.msgWords[msg.channel];
+                if (net.tryInject(msg, src, cycle) ==
+                    InjectResult::ok)
+                    ++injected;
+            }
+            ++cycle;
+        }
+        return sink.arrivals;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(NocTiming, ChannelsShareLinkBandwidth)
+{
+    // Two channels streaming from the same source halve each other's
+    // throughput: total flits delivered per cycle stays bounded by
+    // the 1 flit/cycle injection port.
+    NocConfig config = lineConfig(4);
+    config.numChannels = 2;
+    config.msgWords = {2, 2, 0, 0};
+    Collector sink;
+    Network net(config, sink.fn());
+    Cycle cycle = 0;
+    unsigned injected = 0;
+    Cycle first = 0;
+    while (injected < 40 || !net.quiescent()) {
+        sink.now = cycle;
+        net.step(cycle);
+        if (injected < 40) {
+            Message msg = msgTo(3);
+            msg.channel = static_cast<ChannelId>(injected % 2);
+            if (net.tryInject(msg, 0, cycle) == InjectResult::ok) {
+                if (injected == 0)
+                    first = cycle;
+                ++injected;
+            }
+        }
+        ++cycle;
+        ASSERT_LT(cycle, 10000u);
+    }
+    // 40 x 2-flit messages over one injection port: >= 80 cycles.
+    EXPECT_GE(sink.arrivals.back() - first, 79u);
+}
+
+} // namespace
+} // namespace dalorex

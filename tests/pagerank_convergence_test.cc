@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for PageRank's convergence-threshold mode: the host stops
+ * iterating at the idle signal once the largest rank delta of an
+ * epoch falls under epsilon (bounded above by the iteration cap).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pagerank.hh"
+#include "graph/reference.hh"
+#include "graph/rmat.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+Csr
+prGraph()
+{
+    RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 8;
+    params.seed = 12;
+    return rmatGraph(params);
+}
+
+MachineConfig
+config4x4()
+{
+    MachineConfig config;
+    config.width = 4;
+    config.height = 4;
+    return config;
+}
+
+TEST(PageRankConvergence, StopsEarly)
+{
+    const Csr graph = prGraph();
+    PageRankApp app(graph, 0.85, 50);
+    app.setConvergence(1e-5);
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(app);
+    EXPECT_LT(stats.epochs, 50u);
+    EXPECT_EQ(stats.epochs, app.epochsRun());
+    EXPECT_LT(app.lastDelta(), 1e-5);
+    EXPECT_GT(app.epochsRun(), 3u); // did not stop immediately
+}
+
+TEST(PageRankConvergence, ConvergedRanksMatchFullRun)
+{
+    const Csr graph = prGraph();
+
+    PageRankApp early(graph, 0.85, 50);
+    early.setConvergence(1e-7);
+    Machine m1(config4x4(), graph.numVertices, graph.numEdges);
+    m1.run(early);
+    const std::vector<double> converged = early.gatherFloats(m1);
+
+    // A long fixed-iteration reference: the early-stopped ranks are
+    // already within a small distance of the fixed point.
+    const std::vector<double> fixpoint =
+        referencePageRank(graph, 0.85, 60);
+    for (VertexId v = 0; v < graph.numVertices; ++v) {
+        EXPECT_NEAR(converged[v], fixpoint[v],
+                    std::max(1e-6, 1e-2 * fixpoint[v]))
+            << "vertex " << v;
+    }
+}
+
+TEST(PageRankConvergence, TighterEpsilonRunsLonger)
+{
+    const Csr graph = prGraph();
+    auto epochs_at = [&](double eps) {
+        PageRankApp app(graph, 0.85, 60);
+        app.setConvergence(eps);
+        Machine machine(config4x4(), graph.numVertices,
+                        graph.numEdges);
+        machine.run(app);
+        return app.epochsRun();
+    };
+    EXPECT_LT(epochs_at(1e-4), epochs_at(1e-8));
+}
+
+TEST(PageRankConvergence, IterationCapStillBinds)
+{
+    const Csr graph = prGraph();
+    PageRankApp app(graph, 0.85, 3);
+    app.setConvergence(1e-12); // unreachable in 3 epochs
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(app);
+    EXPECT_EQ(stats.epochs, 3u);
+}
+
+TEST(PageRankConvergence, DeltaShrinksMonotonically)
+{
+    // Successive runs with one more epoch each: the reported last
+    // delta decreases (power iteration contracts).
+    const Csr graph = prGraph();
+    double previous = 1.0;
+    for (unsigned iters = 2; iters <= 10; iters += 4) {
+        PageRankApp app(graph, 0.85, iters);
+        Machine machine(config4x4(), graph.numVertices,
+                        graph.numEdges);
+        machine.run(app);
+        EXPECT_LT(app.lastDelta(), previous);
+        previous = app.lastDelta();
+    }
+}
+
+} // namespace
+} // namespace dalorex

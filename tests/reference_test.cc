@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the sequential reference kernels on hand-built graphs with
+ * known answers, plus cross-kernel consistency properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "graph/reference.hh"
+#include "graph/rmat.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+/** 0 -> 1 -> 2 -> 3 path. */
+Csr
+pathGraph()
+{
+    return buildCsr(4, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+TEST(ReferenceBfs, PathDistances)
+{
+    const std::vector<Word> dist = referenceBfs(pathGraph(), 0);
+    EXPECT_EQ(dist, (std::vector<Word>{0, 1, 2, 3}));
+}
+
+TEST(ReferenceBfs, UnreachableIsInf)
+{
+    const Csr g = buildCsr(3, {{0, 1}});
+    const std::vector<Word> dist = referenceBfs(g, 0);
+    EXPECT_EQ(dist[2], infDist);
+}
+
+TEST(ReferenceBfs, StarGraphOneHop)
+{
+    EdgeList edges;
+    for (VertexId v = 1; v < 50; ++v)
+        edges.emplace_back(0, v);
+    const Csr g = buildCsr(50, edges);
+    const std::vector<Word> dist = referenceBfs(g, 0);
+    for (VertexId v = 1; v < 50; ++v)
+        EXPECT_EQ(dist[v], 1u);
+}
+
+TEST(ReferenceSssp, PrefersLighterLongerPath)
+{
+    // 0 -> 2 direct weight 10; 0 -> 1 -> 2 weights 2 + 3.
+    Csr g = buildCsr(3, {{0, 2}, {0, 1}, {1, 2}});
+    g.weights.assign(g.numEdges, 0);
+    for (EdgeId i = g.rowPtr[0]; i < g.rowPtr[1]; ++i)
+        g.weights[i] = g.colIdx[i] == 2 ? 10 : 2;
+    for (EdgeId i = g.rowPtr[1]; i < g.rowPtr[2]; ++i)
+        g.weights[i] = 3;
+    const std::vector<Word> dist = referenceSssp(g, 0);
+    EXPECT_EQ(dist[2], 5u);
+}
+
+TEST(ReferenceSssp, UnitWeightsMatchBfs)
+{
+    RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 6;
+    Csr g = rmatGraph(params);
+    g.weights.assign(g.numEdges, 1);
+    EXPECT_EQ(referenceSssp(g, 0), referenceBfs(g, 0));
+}
+
+TEST(ReferenceSssp, NeverBelowBfsHops)
+{
+    RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 6;
+    Csr g = rmatGraph(params);
+    Rng rng(3);
+    addRandomWeights(g, rng, 1, 9);
+    const std::vector<Word> hops = referenceBfs(g, 0);
+    const std::vector<Word> dist = referenceSssp(g, 0);
+    for (VertexId v = 0; v < g.numVertices; ++v) {
+        if (hops[v] == infDist) {
+            EXPECT_EQ(dist[v], infDist);
+            continue;
+        }
+        // Each hop costs at least 1 and at most 9.
+        EXPECT_GE(dist[v], hops[v]);
+        EXPECT_LE(dist[v], hops[v] * 9u);
+    }
+}
+
+TEST(ReferenceWcc, TwoComponents)
+{
+    const Csr g =
+        buildCsr(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}},
+                 {.symmetrize = true});
+    const std::vector<Word> label = referenceWcc(g);
+    EXPECT_EQ(label, (std::vector<Word>{0, 0, 0, 3, 3, 3}));
+}
+
+TEST(ReferenceWcc, SingletonsKeepOwnLabel)
+{
+    const Csr g = buildCsr(4, {{1, 2}}, {.symmetrize = true});
+    const std::vector<Word> label = referenceWcc(g);
+    EXPECT_EQ(label[0], 0u);
+    EXPECT_EQ(label[3], 3u);
+    EXPECT_EQ(label[1], 1u);
+    EXPECT_EQ(label[2], 1u);
+}
+
+TEST(ReferenceWcc, DirectionIgnoredAfterSymmetrize)
+{
+    // A chain of only-forward edges still forms one weak component.
+    const Csr g = buildCsr(5, {{4, 3}, {3, 2}, {2, 1}, {1, 0}},
+                           {.symmetrize = true});
+    for (const Word label : referenceWcc(g))
+        EXPECT_EQ(label, 0u);
+}
+
+TEST(ReferencePageRank, UniformOnRegularRing)
+{
+    // A directed ring is 1-regular: ranks stay uniform.
+    EdgeList edges;
+    const VertexId n = 16;
+    for (VertexId v = 0; v < n; ++v)
+        edges.emplace_back(v, (v + 1) % n);
+    const Csr g = buildCsr(n, edges);
+    const std::vector<double> rank = referencePageRank(g, 0.85, 30);
+    for (const double r : rank)
+        EXPECT_NEAR(r, 1.0 / n, 1e-9);
+}
+
+TEST(ReferencePageRank, SinkAbsorbsRank)
+{
+    // 0 and 1 both point at 2; 2 points nowhere (mass decays).
+    const Csr g = buildCsr(3, {{0, 2}, {1, 2}});
+    const std::vector<double> rank = referencePageRank(g, 0.85, 20);
+    EXPECT_GT(rank[2], rank[0]);
+    EXPECT_DOUBLE_EQ(rank[0], rank[1]);
+}
+
+TEST(ReferencePageRank, MassBounded)
+{
+    RmatParams params;
+    params.scale = 9;
+    const Csr g = rmatGraph(params);
+    const std::vector<double> rank = referencePageRank(g, 0.85, 10);
+    double total = 0.0;
+    for (const double r : rank) {
+        EXPECT_GT(r, 0.0);
+        total += r;
+    }
+    // Dangling vertices leak mass, so total <= 1 (plus epsilon).
+    EXPECT_LE(total, 1.0 + 1e-9);
+    EXPECT_GT(total, 0.1);
+}
+
+TEST(ReferenceSpmv, IdentityMatrix)
+{
+    // Diagonal ones stored column-major: y == x.
+    EdgeList diag;
+    for (VertexId v = 0; v < 8; ++v)
+        diag.emplace_back(v, v);
+    CsrBuildOptions opts;
+    opts.removeSelfLoops = false;
+    Csr m = buildCsr(8, diag, opts);
+    m.weights.assign(m.numEdges, 1);
+    const std::vector<Word> x = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(referenceSpmv(m, x), x);
+}
+
+TEST(ReferenceSpmv, ColumnMajorSemantics)
+{
+    // One column (0) with entries in rows 1 and 2, values 3 and 4:
+    // y = [0, 3*x0, 4*x0].
+    CsrBuildOptions opts;
+    Csr m = buildCsr(3, {{0, 1}, {0, 2}}, opts);
+    m.weights = {3, 4};
+    const std::vector<Word> y = referenceSpmv(m, {5, 100, 100});
+    EXPECT_EQ(y, (std::vector<Word>{0, 15, 20}));
+}
+
+TEST(ReferenceSpmv, LinearInX)
+{
+    RmatParams params;
+    params.scale = 8;
+    Csr m = rmatGraph(params);
+    Rng rng(1);
+    addRandomWeights(m, rng, 1, 5);
+    std::vector<Word> x(m.numVertices);
+    for (auto& xi : x)
+        xi = static_cast<Word>(rng.range(0, 20));
+    std::vector<Word> x2(x);
+    for (auto& xi : x2)
+        xi *= 3;
+    const std::vector<Word> y = referenceSpmv(m, x);
+    const std::vector<Word> y2 = referenceSpmv(m, x2);
+    for (VertexId v = 0; v < m.numVertices; ++v)
+        EXPECT_EQ(y2[v], 3u * y[v]);
+}
+
+} // namespace
+} // namespace dalorex
