@@ -1,0 +1,467 @@
+#include "cli/cli.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "apps/graph_app.hh"
+#include "common/logging.hh"
+#include "graph/datasets.hh"
+#include "graph/rmat.hh"
+
+namespace dalorex
+{
+namespace cli
+{
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+bool
+parseU64(const std::string& text, std::uint64_t& out)
+{
+    if (text.empty() ||
+        !std::all_of(text.begin(), text.end(), [](unsigned char c) {
+            return std::isdigit(c);
+        }))
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string& text, std::uint32_t min, std::uint32_t max,
+         std::uint32_t& out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(text, v) || v < min || v > max)
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool
+parseKernel(const std::string& text, Kernel& out)
+{
+    const std::string k = lower(text);
+    if (k == "bfs")
+        out = Kernel::bfs;
+    else if (k == "sssp")
+        out = Kernel::sssp;
+    else if (k == "wcc")
+        out = Kernel::wcc;
+    else if (k == "pagerank" || k == "pr")
+        out = Kernel::pagerank;
+    else if (k == "spmv")
+        out = Kernel::spmv;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseTopology(const std::string& text, NocTopology& out)
+{
+    const std::string t = lower(text);
+    if (t == "mesh")
+        out = NocTopology::mesh;
+    else if (t == "torus")
+        out = NocTopology::torus;
+    else if (t == "torus-ruche" || t == "ruche")
+        out = NocTopology::torusRuche;
+    else
+        return false;
+    return true;
+}
+
+bool
+parsePolicy(const std::string& text, SchedPolicy& out)
+{
+    const std::string p = lower(text);
+    if (p == "round-robin" || p == "rr")
+        out = SchedPolicy::roundRobin;
+    else if (p == "traffic-aware" || p == "ta")
+        out = SchedPolicy::trafficAware;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseDistribution(const std::string& text, Distribution& out)
+{
+    const std::string d = lower(text);
+    if (d == "low-order" || d == "low")
+        out = Distribution::lowOrder;
+    else if (d == "high-order" || d == "high")
+        out = Distribution::highOrder;
+    else
+        return false;
+    return true;
+}
+
+ParseResult
+fail(const std::string& message)
+{
+    ParseResult result;
+    result.ok = false;
+    result.error = message;
+    return result;
+}
+
+/** Format a double so the output is always a valid JSON number. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+ParseResult
+parseArgs(int argc, const char* const* argv)
+{
+    ParseResult result;
+    Options& o = result.options;
+
+    // Flags taking a value, so the loop can uniformly fetch it.
+    auto needsValue = [](const std::string& flag) {
+        static const std::vector<std::string> valued = {
+            "--kernel",       "--width",        "--height",
+            "--topology",     "--ruche-factor", "--policy",
+            "--distribution", "--scale",        "--dataset",
+            "--seed",         "--invoke-overhead", "--max-cycles",
+        };
+        return std::find(valued.begin(), valued.end(), flag) !=
+               valued.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        std::string value;
+        if (needsValue(flag)) {
+            if (i + 1 >= argc)
+                return fail(flag + " needs a value");
+            value = argv[++i];
+        }
+
+        if (flag == "--help" || flag == "-h") {
+            o.help = true;
+        } else if (flag == "--kernel") {
+            if (!parseKernel(value, o.kernel))
+                return fail("unknown kernel: " + value +
+                            " (bfs|sssp|wcc|pagerank|spmv)");
+        } else if (flag == "--width") {
+            if (!parseU32(value, 1, 1024, o.machine.width))
+                return fail("--width must be in [1, 1024], got " +
+                            value);
+        } else if (flag == "--height") {
+            if (!parseU32(value, 1, 1024, o.machine.height))
+                return fail("--height must be in [1, 1024], got " +
+                            value);
+        } else if (flag == "--topology") {
+            if (!parseTopology(value, o.machine.topology))
+                return fail("unknown topology: " + value +
+                            " (mesh|torus|torus-ruche)");
+        } else if (flag == "--ruche-factor") {
+            if (!parseU32(value, 2, 64, o.machine.rucheFactor))
+                return fail("--ruche-factor must be in [2, 64], got " +
+                            value);
+        } else if (flag == "--policy") {
+            if (!parsePolicy(value, o.machine.policy))
+                return fail("unknown policy: " + value +
+                            " (round-robin|traffic-aware)");
+        } else if (flag == "--distribution") {
+            if (!parseDistribution(value, o.machine.distribution))
+                return fail("unknown distribution: " + value +
+                            " (low-order|high-order)");
+        } else if (flag == "--barrier") {
+            o.machine.barrier = true;
+        } else if (flag == "--invoke-overhead") {
+            if (!parseU32(value, 0, 1'000'000,
+                          o.machine.invokeOverhead))
+                return fail("--invoke-overhead must be in "
+                            "[0, 1000000], got " + value);
+        } else if (flag == "--max-cycles") {
+            std::uint64_t v = 0;
+            if (!parseU64(value, v))
+                return fail("--max-cycles must be a cycle count, got " +
+                            value);
+            o.machine.maxCycles = v;
+        } else if (flag == "--scale") {
+            std::uint32_t v = 0;
+            if (!parseU32(value, 4, 26, v))
+                return fail("--scale must be in [4, 26], got " + value);
+            o.scale = v;
+        } else if (flag == "--dataset") {
+            if (value.empty())
+                return fail("--dataset needs a name");
+            o.dataset = value;
+        } else if (flag == "--seed") {
+            if (!parseU64(value, o.seed))
+                return fail("--seed must be an integer, got " + value);
+        } else if (flag == "--json") {
+            o.json = true;
+        } else if (flag == "--validate") {
+            o.validate = true;
+        } else {
+            return fail("unknown option: " + flag + " (try --help)");
+        }
+    }
+
+    if (o.machine.topology == NocTopology::torusRuche &&
+        o.machine.rucheFactor < 2)
+        o.machine.rucheFactor = 2;
+    if (o.machine.topology != NocTopology::torusRuche)
+        o.machine.rucheFactor = 0;
+    return result;
+}
+
+std::string
+usageText()
+{
+    return
+        "usage: dalorex [options]\n"
+        "\n"
+        "Runs one kernel scenario on the cycle-level Dalorex engine\n"
+        "and reports runtime statistics plus the energy model.\n"
+        "\n"
+        "scenario:\n"
+        "  --kernel K           bfs|sssp|wcc|pagerank|spmv"
+        " (default bfs)\n"
+        "  --scale N            RMAT dataset scale, V = 2^N"
+        " (default 12)\n"
+        "  --dataset NAME       named dataset instead of --scale:\n"
+        "                       amazon|wiki|livejournal|rmatN\n"
+        "  --seed N             dataset/weight seed (default 1)\n"
+        "\n"
+        "machine:\n"
+        "  --width N            grid width (default 16)\n"
+        "  --height N           grid height (default 16)\n"
+        "  --topology T         mesh|torus|torus-ruche"
+        " (default torus)\n"
+        "  --ruche-factor N     ruche hop distance (torus-ruche)\n"
+        "  --policy P           round-robin|traffic-aware"
+        " (default traffic-aware)\n"
+        "  --distribution D     low-order|high-order"
+        " (default low-order)\n"
+        "  --barrier            force epoch-synchronized execution\n"
+        "  --invoke-overhead N  extra cycles per task invocation\n"
+        "  --max-cycles N       hard cycle limit (0 = none)\n"
+        "\n"
+        "output:\n"
+        "  --json               emit one JSON object instead of text\n"
+        "  --validate           check output against the sequential\n"
+        "                       reference (fatal on mismatch)\n"
+        "  --help               this text\n"
+        "\n"
+        "examples:\n"
+        "  dalorex --kernel pagerank --width 8 --height 8"
+        " --topology torus --json\n"
+        "  dalorex --kernel sssp --dataset amazon --width 16"
+        " --height 16 --validate\n";
+}
+
+Report
+runScenario(const Options& options)
+{
+    Report report;
+    report.options = options;
+
+    Csr base;
+    if (!options.dataset.empty()) {
+        Dataset ds = makeDataset(options.dataset, options.seed);
+        report.datasetName = ds.name;
+        base = std::move(ds.graph);
+    } else {
+        RmatParams params;
+        params.scale = options.scale;
+        params.seed = options.seed;
+        base = rmatGraph(params);
+        report.datasetName = "rmat" + std::to_string(options.scale);
+    }
+
+    const KernelSetup setup =
+        makeKernelSetup(options.kernel, base, options.seed);
+    report.numVertices = setup.graph.numVertices;
+    report.numEdges = setup.graph.numEdges;
+
+    auto app = setup.makeApp();
+    Machine machine(options.machine, setup.graph.numVertices,
+                    setup.graph.numEdges);
+    report.stats = machine.run(*app);
+
+    if (options.validate) {
+        if (setup.kernel == Kernel::pagerank) {
+            const std::vector<double> got = app->gatherFloats(machine);
+            const std::vector<double> want = setup.referenceFloats();
+            fatal_if(got.size() != want.size(),
+                     "PageRank size mismatch");
+            for (std::size_t v = 0; v < got.size(); ++v) {
+                const double tol = std::max(1e-9, 1e-3 * want[v]);
+                fatal_if(std::abs(got[v] - want[v]) > tol,
+                         "PageRank mismatch at vertex ", v);
+            }
+        } else {
+            fatal_if(app->gatherValues(machine) !=
+                         setup.referenceWords(),
+                     toString(setup.kernel),
+                     " output does not match the sequential reference");
+        }
+        report.validated = true;
+    }
+
+    report.energy = dalorexEnergy(report.stats, options.machine);
+    report.seconds = runSeconds(report.stats);
+    report.bandwidthBytesPerSec = avgMemoryBandwidth(report.stats);
+    return report;
+}
+
+std::string
+renderJson(const Report& report)
+{
+    const Options& o = report.options;
+    const RunStats& s = report.stats;
+    std::ostringstream out;
+    out << "{";
+    out << "\"kernel\":\"" << lower(toString(o.kernel)) << "\",";
+    out << "\"dataset\":{"
+        << "\"name\":\"" << report.datasetName << "\","
+        << "\"vertices\":" << report.numVertices << ","
+        << "\"edges\":" << report.numEdges << ","
+        << "\"seed\":" << o.seed << "},";
+    out << "\"machine\":{"
+        << "\"width\":" << o.machine.width << ","
+        << "\"height\":" << o.machine.height << ","
+        << "\"tiles\":" << o.machine.numTiles() << ","
+        << "\"topology\":\"" << toString(o.machine.topology) << "\","
+        << "\"ruche_factor\":" << o.machine.rucheFactor << ","
+        << "\"policy\":\"" << toString(o.machine.policy) << "\","
+        << "\"distribution\":\"" << toString(o.machine.distribution)
+        << "\","
+        << "\"barrier\":" << (o.machine.barrier ? "true" : "false")
+        << ","
+        << "\"invoke_overhead\":" << o.machine.invokeOverhead << "},";
+    out << "\"stats\":{"
+        << "\"cycles\":" << s.cycles << ","
+        << "\"epochs\":" << s.epochs << ","
+        << "\"invocations\":" << s.invocations << ","
+        << "\"edges_processed\":" << s.edgesProcessed << ","
+        << "\"pu_busy_cycles\":" << s.puBusyCycles << ","
+        << "\"pu_ops\":" << s.puOps << ","
+        << "\"sram_reads\":" << s.sramReads << ","
+        << "\"sram_writes\":" << s.sramWrites << ","
+        << "\"tsu_reads\":" << s.tsuReads << ","
+        << "\"tsu_writes\":" << s.tsuWrites << ","
+        << "\"local_bypass_msgs\":" << s.localBypassMsgs << ","
+        << "\"utilization\":" << jsonNumber(s.utilization()) << ","
+        << "\"scratchpad_bytes_total\":" << s.scratchpadBytesTotal
+        << ","
+        << "\"scratchpad_bytes_max\":" << s.scratchpadBytesMax << ","
+        << "\"noc\":{"
+        << "\"messages_injected\":" << s.noc.messagesInjected << ","
+        << "\"messages_delivered\":" << s.noc.messagesDelivered << ","
+        << "\"flit_hops\":" << s.noc.flitHops << ","
+        << "\"flit_wire_tiles\":" << s.noc.flitWireTiles << ","
+        << "\"router_passages\":" << s.noc.routerPassages << ","
+        << "\"delivery_stalls\":" << s.noc.deliveryStalls << "}},";
+    out << "\"energy\":{"
+        << "\"logic_j\":" << jsonNumber(report.energy.logicJ) << ","
+        << "\"memory_j\":" << jsonNumber(report.energy.memoryJ) << ","
+        << "\"network_j\":" << jsonNumber(report.energy.networkJ)
+        << ","
+        << "\"total_j\":" << jsonNumber(report.energy.totalJ()) << ","
+        << "\"logic_pct\":" << jsonNumber(report.energy.logicPct())
+        << ","
+        << "\"memory_pct\":" << jsonNumber(report.energy.memoryPct())
+        << ","
+        << "\"network_pct\":" << jsonNumber(report.energy.networkPct())
+        << "},";
+    out << "\"seconds\":" << jsonNumber(report.seconds) << ",";
+    out << "\"memory_bandwidth_bytes_per_sec\":"
+        << jsonNumber(report.bandwidthBytesPerSec) << ",";
+    out << "\"validated\":" << (report.validated ? "true" : "false");
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+renderText(const Report& report)
+{
+    const Options& o = report.options;
+    const RunStats& s = report.stats;
+    std::ostringstream out;
+    out << "kernel            " << toString(o.kernel) << " on "
+        << report.datasetName << " (V=" << report.numVertices
+        << ", E=" << report.numEdges << ", seed=" << o.seed << ")\n";
+    out << "machine           " << o.machine.width << "x"
+        << o.machine.height << " " << toString(o.machine.topology)
+        << ", " << toString(o.machine.policy) << ", "
+        << toString(o.machine.distribution)
+        << (o.machine.barrier ? ", barrier" : "") << "\n";
+    out << "cycles            " << s.cycles << " (" << s.epochs
+        << " epoch" << (s.epochs == 1 ? "" : "s") << ", "
+        << jsonNumber(report.seconds * 1e3) << " ms at 1 GHz)\n";
+    out << "invocations       " << s.invocations << "\n";
+    out << "edges processed   " << s.edgesProcessed << "\n";
+    out << "PU utilization    "
+        << jsonNumber(100.0 * s.utilization()) << " %\n";
+    out << "mem accesses      " << s.memAccesses() << " words ("
+        << jsonNumber(report.bandwidthBytesPerSec / 1e9) << " GB/s)\n";
+    out << "NoC               " << s.noc.messagesDelivered
+        << " msgs, " << s.noc.flitHops << " flit-hops, "
+        << s.noc.deliveryStalls << " stalls\n";
+    out << "energy            "
+        << jsonNumber(report.energy.totalJ() * 1e3) << " mJ (logic "
+        << jsonNumber(report.energy.logicPct()) << " %, memory "
+        << jsonNumber(report.energy.memoryPct()) << " %, network "
+        << jsonNumber(report.energy.networkPct()) << " %)\n";
+    if (report.validated)
+        out << "validated         output matches the sequential"
+               " reference\n";
+    return out.str();
+}
+
+int
+cliMain(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err)
+{
+    const ParseResult parsed = parseArgs(argc, argv);
+    if (!parsed.ok) {
+        err << "dalorex: " << parsed.error << "\n";
+        return 2;
+    }
+    if (parsed.options.help) {
+        out << usageText();
+        return 0;
+    }
+    const Report report = runScenario(parsed.options);
+    out << (parsed.options.json ? renderJson(report)
+                                : renderText(report));
+    return 0;
+}
+
+} // namespace cli
+} // namespace dalorex

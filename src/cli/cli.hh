@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The `dalorex` experiment front door: one binary that builds a
+ * scenario (kernel + dataset + machine shape + policy knobs) from
+ * argv, runs it on the cycle-level engine, and reports RunStats plus
+ * the energy model as text or JSON.
+ *
+ * Parsing, running and rendering are split from main() so tests can
+ * drive them directly and later PRs can sweep scenarios in-process.
+ */
+
+#ifndef DALOREX_CLI_CLI_HH
+#define DALOREX_CLI_CLI_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "apps/kernels.hh"
+#include "energy/model.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+namespace cli
+{
+
+/** One scenario, fully determined by argv. */
+struct Options
+{
+    Kernel kernel = Kernel::bfs;
+    MachineConfig machine; //!< width/height/topology/policy/...
+    /** Named dataset ("amazon", "wiki", "rmat14", ...); empty = RMAT
+     *  at `scale`. */
+    std::string dataset;
+    unsigned scale = 12;     //!< RMAT scale when `dataset` is empty
+    std::uint64_t seed = 1;  //!< dataset/weight seed
+    bool json = false;       //!< emit JSON instead of text
+    bool validate = false;   //!< check against sequential reference
+    bool help = false;       //!< --help was requested
+};
+
+/** Outcome of parsing argv: options, or a diagnostic. */
+struct ParseResult
+{
+    Options options;
+    bool ok = true;
+    std::string error; //!< set when !ok
+};
+
+/**
+ * Parse argv (argv[0] is skipped). Unknown flags, missing values and
+ * out-of-range numbers yield ok == false with a one-line error.
+ */
+ParseResult parseArgs(int argc, const char* const* argv);
+
+/** The --help text. */
+std::string usageText();
+
+/** Everything measured by one scenario run. */
+struct Report
+{
+    Options options;
+    std::string datasetName;
+    VertexId numVertices = 0;
+    EdgeId numEdges = 0;
+    RunStats stats;
+    EnergyBreakdown energy;
+    double seconds = 0.0;
+    double bandwidthBytesPerSec = 0.0;
+    bool validated = false;
+};
+
+/**
+ * Build the dataset and kernel, run the machine, derive energy.
+ * fatal() on impossible scenarios (e.g. unknown dataset name) and on
+ * reference mismatch when options.validate is set.
+ */
+Report runScenario(const Options& options);
+
+/** Render a report as a single valid JSON object (with newline). */
+std::string renderJson(const Report& report);
+
+/** Render a report as a human-readable text block. */
+std::string renderText(const Report& report);
+
+/**
+ * Full program behavior: parse, run, print to `out`; diagnostics go
+ * to `err`. Returns the process exit code (0 ok, 2 usage error).
+ */
+int cliMain(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+} // namespace cli
+} // namespace dalorex
+
+#endif // DALOREX_CLI_CLI_HH

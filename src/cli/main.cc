@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Entry point of the `dalorex` binary; all behavior lives in
+ * cli::cliMain so tests can drive it in-process.
+ */
+
+#include <iostream>
+
+#include "cli/cli.hh"
+
+int
+main(int argc, char** argv)
+{
+    return dalorex::cli::cliMain(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests of the `dalorex` CLI: argv parsing, bad-flag rejection, and
+ * the JSON/text reports, driving cli::cliMain in-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hh"
+
+namespace dalorex
+{
+namespace cli
+{
+namespace
+{
+
+ParseResult
+parse(std::vector<const char*> args)
+{
+    args.insert(args.begin(), "dalorex");
+    return parseArgs(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliParse, DefaultsMatchMachineConfig)
+{
+    const ParseResult r = parse({});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.options.kernel, Kernel::bfs);
+    EXPECT_EQ(r.options.machine.width, MachineConfig{}.width);
+    EXPECT_EQ(r.options.machine.height, MachineConfig{}.height);
+    EXPECT_EQ(r.options.machine.topology, NocTopology::torus);
+    EXPECT_FALSE(r.options.json);
+    EXPECT_FALSE(r.options.help);
+}
+
+TEST(CliParse, FullScenario)
+{
+    const ParseResult r = parse(
+        {"--kernel", "pagerank", "--width", "8", "--height", "4",
+         "--topology", "mesh", "--policy", "round-robin",
+         "--distribution", "high-order", "--barrier", "--scale", "10",
+         "--seed", "99", "--invoke-overhead", "50", "--json",
+         "--validate"});
+    ASSERT_TRUE(r.ok) << r.error;
+    const Options& o = r.options;
+    EXPECT_EQ(o.kernel, Kernel::pagerank);
+    EXPECT_EQ(o.machine.width, 8u);
+    EXPECT_EQ(o.machine.height, 4u);
+    EXPECT_EQ(o.machine.topology, NocTopology::mesh);
+    EXPECT_EQ(o.machine.policy, SchedPolicy::roundRobin);
+    EXPECT_EQ(o.machine.distribution, Distribution::highOrder);
+    EXPECT_TRUE(o.machine.barrier);
+    EXPECT_EQ(o.machine.invokeOverhead, 50u);
+    EXPECT_EQ(o.scale, 10u);
+    EXPECT_EQ(o.seed, 99u);
+    EXPECT_TRUE(o.json);
+    EXPECT_TRUE(o.validate);
+}
+
+TEST(CliParse, AllKernelNamesParse)
+{
+    const std::vector<std::pair<const char*, Kernel>> names = {
+        {"bfs", Kernel::bfs},           {"sssp", Kernel::sssp},
+        {"wcc", Kernel::wcc},           {"pagerank", Kernel::pagerank},
+        {"pr", Kernel::pagerank},       {"spmv", Kernel::spmv},
+        {"PageRank", Kernel::pagerank},
+    };
+    for (const auto& [name, kernel] : names) {
+        const ParseResult r = parse({"--kernel", name});
+        ASSERT_TRUE(r.ok) << name << ": " << r.error;
+        EXPECT_EQ(r.options.kernel, kernel) << name;
+    }
+}
+
+TEST(CliParse, RucheFactorDefaultsAndClears)
+{
+    // torus-ruche without a factor gets the minimum factor of 2.
+    ParseResult r = parse({"--topology", "torus-ruche"});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.options.machine.rucheFactor, 2u);
+
+    // A factor given for a non-ruche topology is dropped.
+    r = parse({"--topology", "torus", "--ruche-factor", "4"});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.options.machine.rucheFactor, 0u);
+}
+
+TEST(CliParse, RejectsUnknownFlag)
+{
+    const ParseResult r = parse({"--frobnicate"});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(CliParse, RejectsUnknownEnumValues)
+{
+    EXPECT_FALSE(parse({"--kernel", "dijkstra"}).ok);
+    EXPECT_FALSE(parse({"--topology", "hypercube"}).ok);
+    EXPECT_FALSE(parse({"--policy", "random"}).ok);
+    EXPECT_FALSE(parse({"--distribution", "hash"}).ok);
+}
+
+TEST(CliParse, RejectsMissingAndMalformedValues)
+{
+    EXPECT_FALSE(parse({"--kernel"}).ok);
+    EXPECT_FALSE(parse({"--width"}).ok);
+    EXPECT_FALSE(parse({"--width", "0"}).ok);
+    EXPECT_FALSE(parse({"--width", "-3"}).ok);
+    EXPECT_FALSE(parse({"--width", "8x"}).ok);
+    EXPECT_FALSE(parse({"--scale", "3"}).ok);
+    EXPECT_FALSE(parse({"--scale", "27"}).ok);
+    EXPECT_FALSE(parse({"--seed", "abc"}).ok);
+}
+
+TEST(CliParse, HelpFlag)
+{
+    const ParseResult r = parse({"--help"});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.options.help);
+    EXPECT_NE(usageText().find("--kernel"), std::string::npos);
+}
+
+int
+runCli(std::vector<const char*> args, std::string& out,
+       std::string& err)
+{
+    args.insert(args.begin(), "dalorex");
+    std::ostringstream out_stream;
+    std::ostringstream err_stream;
+    const int code =
+        cliMain(static_cast<int>(args.size()), args.data(), out_stream,
+                err_stream);
+    out = out_stream.str();
+    err = err_stream.str();
+    return code;
+}
+
+/** Extract the integer following `"key":` in a JSON string. */
+std::uint64_t
+jsonUint(const std::string& json, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = json.find(needle);
+    EXPECT_NE(at, std::string::npos) << "missing key " << key;
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(json.c_str() + at + needle.size(), nullptr,
+                         10);
+}
+
+/** Structural JSON check: balanced braces, quotes, no trailing junk. */
+void
+expectWellFormedJson(const std::string& json)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (const char c : json) {
+        if (in_string) {
+            in_string = c != '"';
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{')
+            ++depth;
+        else if (c == '}') {
+            --depth;
+            ASSERT_GE(depth, 0);
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(json.find(",}"), std::string::npos)
+        << "trailing comma before }";
+    EXPECT_EQ(json.find(",]"), std::string::npos)
+        << "trailing comma before ]";
+}
+
+TEST(CliMain, JsonReportHasStatsAndEnergy)
+{
+    std::string out;
+    std::string err;
+    const int code =
+        runCli({"--kernel", "bfs", "--width", "4", "--height", "4",
+                "--scale", "8", "--json", "--validate"},
+               out, err);
+    EXPECT_EQ(code, 0) << err;
+    expectWellFormedJson(out);
+
+    EXPECT_GT(jsonUint(out, "cycles"), 0u);
+    EXPECT_GT(jsonUint(out, "edges_processed"), 0u);
+    EXPECT_GT(jsonUint(out, "invocations"), 0u);
+    EXPECT_GT(jsonUint(out, "messages_delivered"), 0u);
+    for (const char* key :
+         {"logic_j", "memory_j", "network_j", "total_j", "seconds",
+          "memory_bandwidth_bytes_per_sec"})
+        EXPECT_NE(out.find(std::string("\"") + key + "\":"),
+                  std::string::npos)
+            << key;
+    EXPECT_NE(out.find("\"kernel\":\"bfs\""), std::string::npos);
+    EXPECT_NE(out.find("\"validated\":true"), std::string::npos);
+}
+
+TEST(CliMain, TextReportMentionsKernelAndCycles)
+{
+    std::string out;
+    std::string err;
+    const int code = runCli({"--kernel", "wcc", "--width", "4",
+                             "--height", "2", "--scale", "7"},
+                            out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_NE(out.find("WCC"), std::string::npos);
+    EXPECT_NE(out.find("cycles"), std::string::npos);
+    EXPECT_NE(out.find("energy"), std::string::npos);
+}
+
+TEST(CliMain, BadFlagExitsNonZeroWithDiagnostic)
+{
+    std::string out;
+    std::string err;
+    const int code = runCli({"--bogus"}, out, err);
+    EXPECT_EQ(code, 2);
+    EXPECT_TRUE(out.empty());
+    EXPECT_NE(err.find("--bogus"), std::string::npos);
+}
+
+TEST(CliMain, HelpPrintsUsageAndExitsZero)
+{
+    std::string out;
+    std::string err;
+    const int code = runCli({"--help"}, out, err);
+    EXPECT_EQ(code, 0);
+    EXPECT_NE(out.find("usage: dalorex"), std::string::npos);
+}
+
+} // namespace
+} // namespace cli
+} // namespace dalorex

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Golden determinism: the same seed and config must give bit-identical
+ * RunStats counters across two independent runs, for one kernel per
+ * app. Guards future performance refactors against nondeterminism
+ * (unordered containers, address-dependent ordering, data races).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/graph_app.hh"
+#include "apps/kernels.hh"
+#include "graph/rmat.hh"
+#include "sim/machine.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+MachineConfig
+goldenConfig()
+{
+    MachineConfig config;
+    config.width = 4;
+    config.height = 4;
+    config.topology = NocTopology::torus;
+    config.policy = SchedPolicy::trafficAware;
+    config.distribution = Distribution::lowOrder;
+    return config;
+}
+
+RunStats
+runOnce(Kernel kernel)
+{
+    RmatParams params;
+    params.scale = 9;
+    params.edgeFactor = 8;
+    params.seed = 23;
+    const Csr base = rmatGraph(params);
+    const KernelSetup setup = makeKernelSetup(kernel, base, 23);
+
+    auto app = setup.makeApp();
+    Machine machine(goldenConfig(), setup.graph.numVertices,
+                    setup.graph.numEdges);
+    return machine.run(*app);
+}
+
+void
+expectIdentical(const RunStats& a, const RunStats& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.invocations, b.invocations);
+    EXPECT_EQ(a.invocationsPerTask, b.invocationsPerTask);
+    EXPECT_EQ(a.puBusyCycles, b.puBusyCycles);
+    EXPECT_EQ(a.puOps, b.puOps);
+    EXPECT_EQ(a.sramReads, b.sramReads);
+    EXPECT_EQ(a.sramWrites, b.sramWrites);
+    EXPECT_EQ(a.tsuReads, b.tsuReads);
+    EXPECT_EQ(a.tsuWrites, b.tsuWrites);
+    EXPECT_EQ(a.localBypassMsgs, b.localBypassMsgs);
+    EXPECT_EQ(a.edgesProcessed, b.edgesProcessed);
+
+    EXPECT_EQ(a.noc.messagesInjected, b.noc.messagesInjected);
+    EXPECT_EQ(a.noc.messagesDelivered, b.noc.messagesDelivered);
+    EXPECT_EQ(a.noc.flitHops, b.noc.flitHops);
+    EXPECT_EQ(a.noc.flitWireTiles, b.noc.flitWireTiles);
+    EXPECT_EQ(a.noc.routerPassages, b.noc.routerPassages);
+    EXPECT_EQ(a.noc.deliveryStalls, b.noc.deliveryStalls);
+
+    EXPECT_EQ(a.scratchpadBytesTotal, b.scratchpadBytesTotal);
+    EXPECT_EQ(a.scratchpadBytesMax, b.scratchpadBytesMax);
+    EXPECT_EQ(a.puBusyPerTile, b.puBusyPerTile);
+    EXPECT_EQ(a.routerActivePerTile, b.routerActivePerTile);
+}
+
+class DeterminismTest : public ::testing::TestWithParam<Kernel>
+{
+};
+
+TEST_P(DeterminismTest, TwoRunsBitIdentical)
+{
+    const RunStats first = runOnce(GetParam());
+    const RunStats second = runOnce(GetParam());
+    ASSERT_GT(first.cycles, 0u);
+    ASSERT_GT(first.edgesProcessed, 0u);
+    expectIdentical(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, DeterminismTest, ::testing::ValuesIn(allKernels()),
+    [](const ::testing::TestParamInfo<Kernel>& info) {
+        return std::string(toString(info.param));
+    });
+
+} // namespace
+} // namespace dalorex
