@@ -73,7 +73,7 @@ main(int argc, char** argv)
     }
 
     table.print();
-    maybeWriteCsv(opts, table, "ablation_barrier");
+    sweep::writeCsvIfEnabled(opts.csvDir, table, "ablation_barrier");
     std::printf(
         "\nasync speedup > 1: barrier removal wins. The work ratio\n"
         "(async/sync edges) is the staleness tax of asynchronous\n"

@@ -60,11 +60,11 @@ main(int argc, char** argv)
         gains.push_back(double(rr) / double(ta));
     }
     table.print();
-    maybeWriteCsv(opts, table, "ablation_tsu_policy");
+    sweep::writeCsvIfEnabled(opts.csvDir, table, "ablation_tsu_policy");
 
     std::printf("\nThreshold sweep (SSSP): cycles per "
                 "(IQ-high, OQ-low) pair\n\n");
-    Table sweep({"iqHigh\\oqLow", "0.125", "0.25", "0.5"});
+    Table threshold_table({"iqHigh\\oqLow", "0.125", "0.25", "0.5"});
     const KernelSetup setup =
         makeKernelSetup(Kernel::sssp, ds.graph, opts.seed);
     for (const double iq_high : {0.5, 0.75, 0.9}) {
@@ -73,10 +73,11 @@ main(int argc, char** argv)
             row.push_back(std::to_string(runWith(
                 setup, SchedPolicy::trafficAware, iq_high, oq_low)));
         }
-        sweep.addRow(std::move(row));
+        threshold_table.addRow(std::move(row));
     }
-    sweep.print();
-    maybeWriteCsv(opts, sweep, "ablation_tsu_thresholds");
+    threshold_table.print();
+    sweep::writeCsvIfEnabled(opts.csvDir, threshold_table,
+                             "ablation_tsu_thresholds");
     std::printf("\nThe paper's defaults are iqHigh=0.75, oqLow=0.25 "
                 "(nearly full / nearly empty).\n");
     return 0;

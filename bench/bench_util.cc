@@ -4,8 +4,10 @@
 #include <cstring>
 
 #include "apps/graph_app.hh"
+#include "cli/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sweep/pool.hh"
 
 namespace dalorex
 {
@@ -28,13 +30,22 @@ BenchOptions::parse(int argc, char** argv)
         } else if (arg == "--seed") {
             fatal_if(i + 1 >= argc, "--seed needs a value");
             opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--threads") {
+            fatal_if(i + 1 >= argc, "--threads needs a value");
+            std::uint32_t v = 0;
+            fatal_if(!cli::parseU32(argv[++i], 1, 256, v),
+                     "--threads must be an integer in [1, 256], got ",
+                     argv[i]);
+            opts.threads = v;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "options:\n"
                 "  --quick      small stand-ins (default)\n"
                 "  --full       paper-scale stand-ins (slower)\n"
                 "  --csv DIR    also write each table as CSV\n"
-                "  --seed N     dataset seed (default 1)\n");
+                "  --seed N     dataset seed (default 1)\n"
+                "  --threads N  sweep worker threads (default: host "
+                "cores)\n");
             std::exit(0);
         } else {
             fatal("unknown option: ", arg, " (try --help)");
@@ -43,13 +54,10 @@ BenchOptions::parse(int argc, char** argv)
     return opts;
 }
 
-void
-maybeWriteCsv(const BenchOptions& opts, const Table& table,
-              const std::string& name)
+unsigned
+BenchOptions::workerThreads() const
 {
-    if (opts.csvDir.empty())
-        return;
-    table.writeCsv(opts.csvDir + "/" + name + ".csv");
+    return threads > 0 ? threads : sweep::defaultWorkerThreads();
 }
 
 const char*
@@ -84,6 +92,12 @@ dalorexSteps()
             AblationStep::torusNoc,     AblationStep::dalorexFull};
 }
 
+std::uint64_t
+figProvisionBytes()
+{
+    return static_cast<std::uint64_t>(4.2 * 1024 * 1024);
+}
+
 MachineConfig
 ablationConfig(AblationStep step, std::uint32_t width,
                std::uint32_t height)
@@ -91,12 +105,7 @@ ablationConfig(AblationStep step, std::uint32_t width,
     MachineConfig config;
     config.width = width;
     config.height = height;
-
-    // The Fig. 5 machine provisions 4.2MB of scratchpad per tile
-    // (Sec. IV-B: "a 16x16 Dalorex grid with 4.2MB of memory per
-    // tile").
-    config.scratchpadProvisionBytes =
-        static_cast<std::uint64_t>(4.2 * 1024 * 1024);
+    config.scratchpadProvisionBytes = figProvisionBytes();
 
     // Start from the Data-Local point: array chunking and task
     // splitting on the Dalorex fabric, but Tesseract's program flow —
@@ -140,28 +149,6 @@ ablationConfig(AblationStep step, std::uint32_t width,
         panic("not a Dalorex ablation step: ", toString(step));
     }
     return config;
-}
-
-void
-validateWords(const KernelSetup& setup, const std::vector<Word>& got)
-{
-    const std::vector<Word> want = setup.referenceWords();
-    fatal_if(got != want, toString(setup.kernel),
-             " output does not match the sequential reference");
-}
-
-void
-validateFloats(const KernelSetup& setup,
-               const std::vector<double>& got)
-{
-    const std::vector<double> want = setup.referenceFloats();
-    fatal_if(got.size() != want.size(), "PageRank size mismatch");
-    for (std::size_t v = 0; v < got.size(); ++v) {
-        const double tol = std::max(1e-9, 1e-3 * want[v]);
-        fatal_if(std::abs(got[v] - want[v]) > tol,
-                 "PageRank mismatch at vertex ", v, ": ", got[v],
-                 " vs ", want[v]);
-    }
 }
 
 DalorexRun
@@ -212,10 +199,9 @@ figDatasets(const BenchOptions& opts)
         rmat.name = "R22s"; // scaled stand-in for the paper's RMAT-22
         datasets.push_back(std::move(rmat));
     } else {
-        datasets.push_back(makeDatasetAt("amazon", 15, opts.seed));
-        datasets.push_back(makeDatasetAt("wiki", 14, opts.seed));
-        datasets.push_back(makeDatasetAt("livejournal", 15,
-                                         opts.seed));
+        for (const char* name : {"amazon", "wiki", "livejournal"})
+            datasets.push_back(makeDatasetAt(
+                name, defaultQuickScale(name), opts.seed));
         Dataset rmat = makeDataset("rmat13", opts.seed);
         rmat.name = "R22s";
         datasets.push_back(std::move(rmat));

@@ -18,6 +18,7 @@
 #include "energy/model.hh"
 #include "graph/datasets.hh"
 #include "sim/machine.hh"
+#include "sweep/aggregate.hh"
 
 namespace dalorex
 {
@@ -33,14 +34,15 @@ struct BenchOptions
     std::string csvDir;
     /** Dataset/weight seed. */
     std::uint64_t seed = 1;
+    /** Worker threads for sweep-based drivers (0 = host cores). */
+    unsigned threads = 0;
 
     /** Parse argv; fatal() on unknown flags. */
     static BenchOptions parse(int argc, char** argv);
-};
 
-/** Write a table as CSV into opts.csvDir when enabled. */
-void maybeWriteCsv(const BenchOptions& opts, const Table& table,
-                   const std::string& name);
+    /** threads, defaulted to the host core count and clamped >= 1. */
+    unsigned workerThreads() const;
+};
 
 /** The Fig. 5 ablation ladder, left to right. */
 enum class AblationStep
@@ -63,6 +65,12 @@ std::vector<AblationStep> dalorexSteps();
 /** MachineConfig realizing one Dalorex ablation step. */
 MachineConfig ablationConfig(AblationStep step, std::uint32_t width,
                              std::uint32_t height);
+
+/**
+ * The figure machines' per-tile scratchpad provision: 4.2MB
+ * (Sec. IV-B, "a 16x16 Dalorex grid with 4.2MB of memory per tile").
+ */
+std::uint64_t figProvisionBytes();
 
 /** One validated Dalorex run with derived energy. */
 struct DalorexRun
@@ -98,12 +106,6 @@ BaselineRun runTesseractBaseline(const KernelSetup& setup,
  * scale uses the 2^18 stand-ins of DESIGN.md.
  */
 std::vector<Dataset> figDatasets(const BenchOptions& opts);
-
-/** Validate a finished run against the setup's reference output. */
-void validateWords(const KernelSetup& setup,
-                   const std::vector<Word>& got);
-void validateFloats(const KernelSetup& setup,
-                    const std::vector<double>& got);
 
 } // namespace bench
 } // namespace dalorex

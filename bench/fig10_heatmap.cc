@@ -61,7 +61,7 @@ printHeatmap(const BenchOptions& opts, const char* title,
     std::printf("  mean %.1f%%, peak %.1f%% "
                 "(scale: ' '=0-10%% ... '@'=90-100%%)\n\n",
                 sum / (width * height), peak);
-    maybeWriteCsv(opts, csv, csv_name);
+    sweep::writeCsvIfEnabled(opts.csvDir, csv, csv_name);
 }
 
 } // namespace

@@ -118,14 +118,16 @@ main(int argc, char** argv)
                     "(higher is better) ==\n",
                     toString(kernel));
         perf.print();
-        maybeWriteCsv(opts, perf,
-                      std::string("fig5_perf_") + toString(kernel));
+        sweep::writeCsvIfEnabled(
+            opts.csvDir, perf,
+            std::string("fig5_perf_") + toString(kernel));
         std::printf("\n== %s: energy improvement over Tesseract "
                     "(higher is better) ==\n",
                     toString(kernel));
         energy.print();
-        maybeWriteCsv(opts, energy,
-                      std::string("fig5_energy_") + toString(kernel));
+        sweep::writeCsvIfEnabled(
+            opts.csvDir, energy,
+            std::string("fig5_energy_") + toString(kernel));
         std::printf("\n");
     }
 
@@ -175,6 +177,6 @@ main(int argc, char** argv)
     }
     std::printf("== Sec. V-A in-text geomean ladder ==\n");
     summary.print();
-    maybeWriteCsv(opts, summary, "fig5_summary");
+    sweep::writeCsvIfEnabled(opts.csvDir, summary, "fig5_summary");
     return 0;
 }

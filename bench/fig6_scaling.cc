@@ -2,8 +2,13 @@
  * @file
  * Fig. 6 reproduction: strong scaling of BFS over RMAT datasets —
  * runtime (cycles) and total energy (J) for grids from 1 tile up to
- * 32x32 (64x64 with --full), with the per-tile memory label the paper
+ * 32x32 (64x64 with --full), with the per-tile memory the paper
  * prints next to each energy point.
+ *
+ * A thin wrapper over the sweep orchestrator: one Plan per dataset
+ * (its grid axis stops where tiles starve), executed on the worker
+ * pool and rendered through the shared aggregate schema — speedup and
+ * parallel efficiency are measured against the 1-tile baseline.
  *
  * Expected shapes (Sec. V-B): runtime scales close to linearly until a
  * tile holds ~1,000 vertices ("tiles starving for work", not memory
@@ -13,10 +18,12 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "common/table.hh"
+#include "common/logging.hh"
+#include "sweep/sweep.hh"
 
 using namespace dalorex;
 using namespace dalorex::bench;
@@ -41,52 +48,50 @@ main(int argc, char** argv)
                 "(%s scale)\n\n",
                 opts.full ? "full" : "quick");
 
-    Table table({"dataset", "tiles", "cycles", "runtime_s",
-                 "energy_J", "KB/tile", "vertices/tile", "PU util"});
-
+    std::vector<cli::Report> reports;
     for (const std::string& name : names) {
-        const Dataset ds = makeDataset(name, opts.seed);
-        const KernelSetup setup =
-            makeKernelSetup(Kernel::bfs, ds.graph, opts.seed);
-        double prev_cycles = 0.0;
+        const unsigned scale =
+            static_cast<unsigned>(std::stoul(name.substr(4)));
+        const std::uint32_t vertices = 1u << scale;
+
+        sweep::Plan plan;
+        plan.kernels = {Kernel::bfs};
+        plan.datasets = {{name, 0}};
+        plan.seed = opts.seed;
+        plan.validate = true; // as the old loop: every run checked
+        plan.scratchpadProvisionBytes = figProvisionBytes();
+        // The paper uses a regular torus up to 32x32 and adds ruche
+        // channels above (Sec. IV-A).
+        sweep::Plan ruche = plan;
+        ruche.topologies = {NocTopology::torusRuche};
+        ruche.rucheFactor = 4;
         for (const std::uint32_t side : grid_sides) {
-            const std::uint32_t tiles = side * side;
             // The paper stops a line once tiles starve (well past the
-            // ~1K vertices/tile knee); we stop below 16
-            // vertices/tile.
-            if (ds.graph.numVertices / tiles < 16 && tiles > 1)
+            // ~1K vertices/tile knee); we stop below 16 vertices/tile.
+            if (side > 1 && vertices / (side * side) < 16)
                 break;
-            MachineConfig config = ablationConfig(
-                AblationStep::dalorexFull, side, side);
-            // The paper uses a regular torus up to 32x32 and adds
-            // ruche channels above (Sec. IV-A).
-            if (side > 32) {
-                config.topology = NocTopology::torusRuche;
-                config.rucheFactor = 4;
-            }
-            const DalorexRun run = runDalorex(setup, config);
-            const double kb_per_tile =
-                static_cast<double>(run.stats.scratchpadBytesMax) /
-                1024.0;
-            table.addRow(
-                {ds.name, std::to_string(tiles),
-                 std::to_string(run.stats.cycles),
-                 Table::sci(run.seconds, 2),
-                 Table::sci(run.joules, 3),
-                 Table::fmt(kb_per_tile, 0),
-                 std::to_string(ds.graph.numVertices / tiles),
-                 Table::fmt(run.stats.utilization(), 3)});
-            if (prev_cycles > 0.0) {
-                // shape check: more tiles should not be slower by
-                // more than a whisker until the starvation limit
-                (void)prev_cycles;
-            }
-            prev_cycles = static_cast<double>(run.stats.cycles);
+            (side <= 32 ? plan : ruche)
+                .grids.push_back({side, side});
+        }
+
+        for (const sweep::Plan* p : {&plan, &ruche}) {
+            if (p->grids.empty())
+                continue;
+            const sweep::RunResult run =
+                sweep::run(*p, opts.workerThreads());
+            fatal_if(!run.ok, "fig6 sweep: ", run.error);
+            reports.insert(reports.end(), run.reports.begin(),
+                           run.reports.end());
         }
     }
 
+    // The ruche tail has no 1x1 row in its group; skip its speedup.
+    const sweep::AggregateResult agg = sweep::aggregate(
+        reports, {1, 1}, sweep::MissingBaseline::skip);
+    fatal_if(!agg.ok, "fig6 aggregate: ", agg.error);
+    const Table table = sweep::toTable(agg.rows);
     table.print();
-    maybeWriteCsv(opts, table, "fig6_scaling");
+    sweep::writeCsvIfEnabled(opts.csvDir, table, "fig6_scaling");
     std::printf("\nExpected shape: near-linear runtime scaling until "
                 "~1K vertices/tile;\nenergy minimum near ~10K "
                 "vertices/tile (leakage of starving tiles past "

@@ -4,6 +4,10 @@
  * average utilized memory bandwidth while strong-scaling the largest
  * RMAT dataset across grid sizes, for all five kernels.
  *
+ * A thin wrapper over the sweep orchestrator: one Plan covering all
+ * kernels on the torus grids (plus a ruche Plan for the 64x64 point
+ * under --full), aggregated against the 16x16 baseline.
+ *
  * Expected shape (Sec. V-B): both throughput and memory bandwidth keep
  * growing to the largest simulated grid — memory bandwidth scales with
  * the tile count (one more tile = one more memory port) and never
@@ -11,11 +15,12 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "common/table.hh"
-#include "energy/model.hh"
+#include "common/logging.hh"
+#include "sweep/sweep.hh"
 
 using namespace dalorex;
 using namespace dalorex::bench;
@@ -26,48 +31,46 @@ main(int argc, char** argv)
     const BenchOptions opts = BenchOptions::parse(argc, argv);
 
     // Stand-in for the paper's RMAT-26 (67M vertices).
-    const Dataset ds =
-        makeDataset(opts.full ? "rmat18" : "rmat15", opts.seed);
-    std::vector<std::uint32_t> sides = {16, 32};
-    if (opts.full)
-        sides.push_back(64);
+    const std::string name = opts.full ? "rmat18" : "rmat15";
 
-    std::printf("Fig. 7: throughput scaling, %s (V=%u, E=%u), "
-                "%s scale\n\n",
-                ds.name.c_str(), ds.graph.numVertices,
-                ds.graph.numEdges, opts.full ? "full" : "quick");
+    std::printf("Fig. 7: throughput scaling, %s, %s scale\n\n",
+                name.c_str(), opts.full ? "full" : "quick");
 
-    Table table({"kernel", "tiles", "edges/s", "ops/s",
-                 "avg MBW B/s", "cycles"});
+    sweep::Plan plan;
+    plan.kernels = allKernels();
+    plan.datasets = {{name, 0}};
+    plan.grids = {{16, 16}, {32, 32}};
+    plan.seed = opts.seed;
+    plan.validate = true; // as the old loop: every run checked
+    plan.pagerankIterations = 5; // bench budget
+    plan.scratchpadProvisionBytes = figProvisionBytes();
 
-    for (const Kernel kernel : allKernels()) {
-        KernelSetup setup =
-            makeKernelSetup(kernel, ds.graph, opts.seed);
-        setup.iterations = 5; // PageRank epochs (bench budget)
-        for (const std::uint32_t side : sides) {
-            MachineConfig config = ablationConfig(
-                AblationStep::dalorexFull, side, side);
-            if (side > 32) {
-                config.topology = NocTopology::torusRuche;
-                config.rucheFactor = 4;
-            }
-            const DalorexRun run = runDalorex(setup, config);
-            const double edges_per_s =
-                static_cast<double>(run.stats.edgesProcessed) /
-                run.seconds;
-            const double ops_per_s =
-                static_cast<double>(run.stats.puOps) / run.seconds;
-            table.addRow({toString(kernel),
-                          std::to_string(side * side),
-                          Table::sci(edges_per_s, 2),
-                          Table::sci(ops_per_s, 2),
-                          Table::sci(avgMemoryBandwidth(run.stats), 2),
-                          std::to_string(run.stats.cycles)});
-        }
+    std::vector<cli::Report> reports;
+    {
+        const sweep::RunResult run =
+            sweep::run(plan, opts.workerThreads());
+        fatal_if(!run.ok, "fig7 sweep: ", run.error);
+        reports = run.reports;
+    }
+    if (opts.full) {
+        // The paper adds ruche channels above 32x32 (Sec. IV-A).
+        sweep::Plan ruche = plan;
+        ruche.grids = {{64, 64}};
+        ruche.topologies = {NocTopology::torusRuche};
+        ruche.rucheFactor = 4;
+        const sweep::RunResult run =
+            sweep::run(ruche, opts.workerThreads());
+        fatal_if(!run.ok, "fig7 sweep: ", run.error);
+        reports.insert(reports.end(), run.reports.begin(),
+                       run.reports.end());
     }
 
+    const sweep::AggregateResult agg = sweep::aggregate(
+        reports, {16, 16}, sweep::MissingBaseline::skip);
+    fatal_if(!agg.ok, "fig7 aggregate: ", agg.error);
+    const Table table = sweep::toTable(agg.rows);
     table.print();
-    maybeWriteCsv(opts, table, "fig7_throughput");
+    sweep::writeCsvIfEnabled(opts.csvDir, table, "fig7_throughput");
     std::printf("\nExpected shape: edges/s, ops/s and memory "
                 "bandwidth all grow with the grid\n(no saturation: "
                 "memory ports scale with tiles).\n");

@@ -83,7 +83,7 @@ main(int argc, char** argv)
     }
 
     table.print();
-    maybeWriteCsv(opts, table, "fig8_noc");
+    sweep::writeCsvIfEnabled(opts.csvDir, table, "fig8_noc");
     std::printf("\nExpected shape: torus ~2x mesh on 16x16; ruche "
                 "only helps on the large grid.\n");
     return 0;

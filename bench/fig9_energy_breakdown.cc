@@ -4,6 +4,11 @@
  * logic, SRAM cells and network communication (routing + wires), per
  * application and dataset, as a percentage of the total.
  *
+ * A thin wrapper over the sweep orchestrator: all kernels over the
+ * WK/LJ/R22 stand-ins at 16x16 plus the large-grid RMAT point, with
+ * the logic/memory/network percentage columns of the shared aggregate
+ * schema.
+ *
  * Expected shapes (Sec. V-C): the network dominates — Dalorex pairs
  * energy-efficient memories and very simple PUs with a NoC whose share
  * grows with grid size (longer average distance per vertex update on
@@ -14,7 +19,8 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "common/table.hh"
+#include "common/logging.hh"
+#include "sweep/sweep.hh"
 
 using namespace dalorex;
 using namespace dalorex::bench;
@@ -24,45 +30,49 @@ main(int argc, char** argv)
 {
     const BenchOptions opts = BenchOptions::parse(argc, argv);
 
-    std::vector<Dataset> datasets = figDatasets(opts);
-    datasets.erase(datasets.begin()); // Fig. 9 uses WK, LJ, R22, R26
-    Dataset big = makeDataset(opts.full ? "rmat17" : "rmat15",
-                              opts.seed);
-    big.name = "R26s";
-    const std::uint32_t big_side = opts.full ? 64 : 32;
-
     std::printf("Fig. 9: energy breakdown (%% of total), %s scale\n\n",
                 opts.full ? "full" : "quick");
 
-    Table table({"kernel", "dataset", "tiles", "logic %", "memory %",
-                 "network %", "total J"});
+    // Fig. 9 uses WK, LJ, R22 (no AZ) on 16x16...
+    sweep::Plan plan;
+    plan.kernels = allKernels();
+    plan.datasets = {{"wiki", opts.full ? 0 : defaultQuickScale("wiki")},
+                     {"livejournal",
+                      opts.full ? 0 : defaultQuickScale("livejournal")},
+                     {opts.full ? "rmat18" : "rmat13", 0}};
+    plan.grids = {{16, 16}};
+    plan.seed = opts.seed;
+    plan.validate = true; // as the old loop: every run checked
+    plan.pagerankIterations = 5; // bench budget
+    plan.scratchpadProvisionBytes = figProvisionBytes();
 
-    for (const Kernel kernel : allKernels()) {
-        auto run_row = [&](const Dataset& ds, std::uint32_t side) {
-            KernelSetup setup =
-                makeKernelSetup(kernel, ds.graph, opts.seed);
-            setup.iterations = 5;
-            MachineConfig config = ablationConfig(
-                AblationStep::dalorexFull, side, side);
-            if (side > 32) {
-                config.topology = NocTopology::torusRuche;
-                config.rucheFactor = 4;
-            }
-            const DalorexRun run = runDalorex(setup, config);
-            table.addRow({toString(kernel), ds.name,
-                          std::to_string(side * side),
-                          Table::fmt(run.energy.logicPct(), 1),
-                          Table::fmt(run.energy.memoryPct(), 1),
-                          Table::fmt(run.energy.networkPct(), 1),
-                          Table::sci(run.energy.totalJ(), 3)});
-        };
-        for (const Dataset& ds : datasets)
-            run_row(ds, 16);
-        run_row(big, big_side);
+    // ...plus the large-grid RMAT-26 stand-in (ruche above 32x32).
+    sweep::Plan big = plan;
+    big.datasets = {{opts.full ? "rmat17" : "rmat15", 0}};
+    big.grids = {opts.full ? sweep::GridShape{64, 64}
+                           : sweep::GridShape{32, 32}};
+    if (opts.full) {
+        big.topologies = {NocTopology::torusRuche};
+        big.rucheFactor = 4;
     }
 
+    std::vector<cli::Report> reports;
+    for (const sweep::Plan* p : {&plan, &big}) {
+        const sweep::RunResult run =
+            sweep::run(*p, opts.workerThreads());
+        fatal_if(!run.ok, "fig9 sweep: ", run.error);
+        reports.insert(reports.end(), run.reports.begin(),
+                       run.reports.end());
+    }
+
+    // Every group is its own baseline grid; no cross-grid speedup.
+    const sweep::AggregateResult agg = sweep::aggregate(
+        reports, {16, 16}, sweep::MissingBaseline::skip);
+    fatal_if(!agg.ok, "fig9 aggregate: ", agg.error);
+    const Table table = sweep::toTable(agg.rows);
     table.print();
-    maybeWriteCsv(opts, table, "fig9_energy_breakdown");
+    sweep::writeCsvIfEnabled(opts.csvDir, table,
+                             "fig9_energy_breakdown");
     std::printf("\nExpected shape: network is the largest share and "
                 "grows with grid size.\n");
     return 0;

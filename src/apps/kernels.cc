@@ -1,5 +1,8 @@
 #include "apps/kernels.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "apps/bfs.hh"
 #include "apps/pagerank.hh"
 #include "apps/spmv.hh"
@@ -129,6 +132,28 @@ KernelSetup::referenceFloats() const
     panic_if(kernel != Kernel::pagerank,
              "referenceFloats is PageRank-only");
     return referencePageRank(graph, damping, iterations);
+}
+
+void
+validateWords(const KernelSetup& setup, const std::vector<Word>& got)
+{
+    const std::vector<Word> want = setup.referenceWords();
+    fatal_if(got != want, toString(setup.kernel),
+             " output does not match the sequential reference");
+}
+
+void
+validateFloats(const KernelSetup& setup,
+               const std::vector<double>& got)
+{
+    const std::vector<double> want = setup.referenceFloats();
+    fatal_if(got.size() != want.size(), "PageRank size mismatch");
+    for (std::size_t v = 0; v < got.size(); ++v) {
+        const double tol = std::max(1e-9, 1e-3 * want[v]);
+        fatal_if(std::abs(got[v] - want[v]) > tol,
+                 "PageRank mismatch at vertex ", v, ": ", got[v],
+                 " vs ", want[v]);
+    }
 }
 
 } // namespace dalorex

@@ -72,6 +72,18 @@ KernelSetup makeKernelSetup(Kernel kernel, const Csr& base,
 /** First vertex with out-degree > 0 (deterministic search root). */
 VertexId pickRoot(const Csr& graph);
 
+/**
+ * Validate a finished run's per-vertex words against the setup's
+ * sequential reference; fatal() on mismatch. Shared by the CLI, the
+ * sweep orchestrator and the figure benches.
+ */
+void validateWords(const KernelSetup& setup,
+                   const std::vector<Word>& got);
+
+/** Same for PageRank ranks (relative tolerance 1e-3). */
+void validateFloats(const KernelSetup& setup,
+                    const std::vector<double>& got);
+
 } // namespace dalorex
 
 #endif // DALOREX_APPS_KERNELS_HH

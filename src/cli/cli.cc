@@ -11,6 +11,8 @@
 
 #include "apps/graph_app.hh"
 #include "common/logging.hh"
+#include "common/table.hh"
+#include "common/text.hh"
 #include "graph/datasets.hh"
 #include "graph/rmat.hh"
 
@@ -21,14 +23,16 @@ namespace cli
 namespace
 {
 
-std::string
-lower(std::string s)
+ParseResult
+fail(const std::string& message)
 {
-    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
-        return static_cast<char>(std::tolower(c));
-    });
-    return s;
+    ParseResult result;
+    result.ok = false;
+    result.error = message;
+    return result;
 }
+
+} // namespace
 
 bool
 parseU64(const std::string& text, std::uint64_t& out)
@@ -61,7 +65,7 @@ parseU32(const std::string& text, std::uint32_t min, std::uint32_t max,
 bool
 parseKernel(const std::string& text, Kernel& out)
 {
-    const std::string k = lower(text);
+    const std::string k = toLower(text);
     if (k == "bfs")
         out = Kernel::bfs;
     else if (k == "sssp")
@@ -80,7 +84,7 @@ parseKernel(const std::string& text, Kernel& out)
 bool
 parseTopology(const std::string& text, NocTopology& out)
 {
-    const std::string t = lower(text);
+    const std::string t = toLower(text);
     if (t == "mesh")
         out = NocTopology::mesh;
     else if (t == "torus")
@@ -95,7 +99,7 @@ parseTopology(const std::string& text, NocTopology& out)
 bool
 parsePolicy(const std::string& text, SchedPolicy& out)
 {
-    const std::string p = lower(text);
+    const std::string p = toLower(text);
     if (p == "round-robin" || p == "rr")
         out = SchedPolicy::roundRobin;
     else if (p == "traffic-aware" || p == "ta")
@@ -108,7 +112,7 @@ parsePolicy(const std::string& text, SchedPolicy& out)
 bool
 parseDistribution(const std::string& text, Distribution& out)
 {
-    const std::string d = lower(text);
+    const std::string d = toLower(text);
     if (d == "low-order" || d == "low")
         out = Distribution::lowOrder;
     else if (d == "high-order" || d == "high")
@@ -117,28 +121,6 @@ parseDistribution(const std::string& text, Distribution& out)
         return false;
     return true;
 }
-
-ParseResult
-fail(const std::string& message)
-{
-    ParseResult result;
-    result.ok = false;
-    result.error = message;
-    return result;
-}
-
-/** Format a double so the output is always a valid JSON number. */
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "0";
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.12g", v);
-    return buf;
-}
-
-} // namespace
 
 ParseResult
 parseArgs(int argc, const char* const* argv)
@@ -218,6 +200,9 @@ parseArgs(int argc, const char* const* argv)
         } else if (flag == "--dataset") {
             if (value.empty())
                 return fail("--dataset needs a name");
+            if (!knownDataset(value))
+                return fail("unknown dataset: " + value +
+                            " (try --list-datasets)");
             o.dataset = value;
         } else if (flag == "--seed") {
             if (!parseU64(value, o.seed))
@@ -226,6 +211,8 @@ parseArgs(int argc, const char* const* argv)
             o.json = true;
         } else if (flag == "--validate") {
             o.validate = true;
+        } else if (flag == "--list-datasets") {
+            o.listDatasets = true;
         } else {
             return fail("unknown option: " + flag + " (try --help)");
         }
@@ -244,9 +231,12 @@ usageText()
 {
     return
         "usage: dalorex [options]\n"
+        "       dalorex sweep [options]\n"
         "\n"
         "Runs one kernel scenario on the cycle-level Dalorex engine\n"
-        "and reports runtime statistics plus the energy model.\n"
+        "and reports runtime statistics plus the energy model. The\n"
+        "`sweep` subcommand expands a scenario grid and runs every\n"
+        "point on a worker pool (see `dalorex sweep --help`).\n"
         "\n"
         "scenario:\n"
         "  --kernel K           bfs|sssp|wcc|pagerank|spmv"
@@ -275,6 +265,7 @@ usageText()
         "  --json               emit one JSON object instead of text\n"
         "  --validate           check output against the sequential\n"
         "                       reference (fatal on mismatch)\n"
+        "  --list-datasets      list the named datasets and exit\n"
         "  --help               this text\n"
         "\n"
         "examples:\n"
@@ -282,6 +273,20 @@ usageText()
         " --topology torus --json\n"
         "  dalorex --kernel sssp --dataset amazon --width 16"
         " --height 16 --validate\n";
+}
+
+std::string
+datasetListText()
+{
+    std::ostringstream out;
+    out << "datasets (deterministic in name and --seed):\n";
+    for (const DatasetListing& ds : datasetCatalog()) {
+        out << "  " << ds.name;
+        if (!ds.aliases.empty())
+            out << " (" << ds.aliases << ")";
+        out << "\n      " << ds.note << "\n";
+    }
+    return out.str();
 }
 
 Report
@@ -292,7 +297,11 @@ runScenario(const Options& options)
 
     Csr base;
     if (!options.dataset.empty()) {
-        Dataset ds = makeDataset(options.dataset, options.seed);
+        Dataset ds = options.datasetScale > 0
+                         ? makeDatasetAt(options.dataset,
+                                         options.datasetScale,
+                                         options.seed)
+                         : makeDataset(options.dataset, options.seed);
         report.datasetName = ds.name;
         base = std::move(ds.graph);
     } else {
@@ -303,8 +312,10 @@ runScenario(const Options& options)
         report.datasetName = "rmat" + std::to_string(options.scale);
     }
 
-    const KernelSetup setup =
+    KernelSetup setup =
         makeKernelSetup(options.kernel, base, options.seed);
+    if (options.pagerankIterations > 0)
+        setup.iterations = options.pagerankIterations;
     report.numVertices = setup.graph.numVertices;
     report.numEdges = setup.graph.numEdges;
 
@@ -314,22 +325,10 @@ runScenario(const Options& options)
     report.stats = machine.run(*app);
 
     if (options.validate) {
-        if (setup.kernel == Kernel::pagerank) {
-            const std::vector<double> got = app->gatherFloats(machine);
-            const std::vector<double> want = setup.referenceFloats();
-            fatal_if(got.size() != want.size(),
-                     "PageRank size mismatch");
-            for (std::size_t v = 0; v < got.size(); ++v) {
-                const double tol = std::max(1e-9, 1e-3 * want[v]);
-                fatal_if(std::abs(got[v] - want[v]) > tol,
-                         "PageRank mismatch at vertex ", v);
-            }
-        } else {
-            fatal_if(app->gatherValues(machine) !=
-                         setup.referenceWords(),
-                     toString(setup.kernel),
-                     " output does not match the sequential reference");
-        }
+        if (setup.kernel == Kernel::pagerank)
+            validateFloats(setup, app->gatherFloats(machine));
+        else
+            validateWords(setup, app->gatherValues(machine));
         report.validated = true;
     }
 
@@ -346,7 +345,7 @@ renderJson(const Report& report)
     const RunStats& s = report.stats;
     std::ostringstream out;
     out << "{";
-    out << "\"kernel\":\"" << lower(toString(o.kernel)) << "\",";
+    out << "\"kernel\":\"" << toLower(toString(o.kernel)) << "\",";
     out << "\"dataset\":{"
         << "\"name\":\"" << report.datasetName << "\","
         << "\"vertices\":" << report.numVertices << ","
@@ -376,7 +375,7 @@ renderJson(const Report& report)
         << "\"tsu_reads\":" << s.tsuReads << ","
         << "\"tsu_writes\":" << s.tsuWrites << ","
         << "\"local_bypass_msgs\":" << s.localBypassMsgs << ","
-        << "\"utilization\":" << jsonNumber(s.utilization()) << ","
+        << "\"utilization\":" << Table::num(s.utilization()) << ","
         << "\"scratchpad_bytes_total\":" << s.scratchpadBytesTotal
         << ","
         << "\"scratchpad_bytes_max\":" << s.scratchpadBytesMax << ","
@@ -388,20 +387,20 @@ renderJson(const Report& report)
         << "\"router_passages\":" << s.noc.routerPassages << ","
         << "\"delivery_stalls\":" << s.noc.deliveryStalls << "}},";
     out << "\"energy\":{"
-        << "\"logic_j\":" << jsonNumber(report.energy.logicJ) << ","
-        << "\"memory_j\":" << jsonNumber(report.energy.memoryJ) << ","
-        << "\"network_j\":" << jsonNumber(report.energy.networkJ)
+        << "\"logic_j\":" << Table::num(report.energy.logicJ) << ","
+        << "\"memory_j\":" << Table::num(report.energy.memoryJ) << ","
+        << "\"network_j\":" << Table::num(report.energy.networkJ)
         << ","
-        << "\"total_j\":" << jsonNumber(report.energy.totalJ()) << ","
-        << "\"logic_pct\":" << jsonNumber(report.energy.logicPct())
+        << "\"total_j\":" << Table::num(report.energy.totalJ()) << ","
+        << "\"logic_pct\":" << Table::num(report.energy.logicPct())
         << ","
-        << "\"memory_pct\":" << jsonNumber(report.energy.memoryPct())
+        << "\"memory_pct\":" << Table::num(report.energy.memoryPct())
         << ","
-        << "\"network_pct\":" << jsonNumber(report.energy.networkPct())
+        << "\"network_pct\":" << Table::num(report.energy.networkPct())
         << "},";
-    out << "\"seconds\":" << jsonNumber(report.seconds) << ",";
+    out << "\"seconds\":" << Table::num(report.seconds) << ",";
     out << "\"memory_bandwidth_bytes_per_sec\":"
-        << jsonNumber(report.bandwidthBytesPerSec) << ",";
+        << Table::num(report.bandwidthBytesPerSec) << ",";
     out << "\"validated\":" << (report.validated ? "true" : "false");
     out << "}\n";
     return out.str();
@@ -423,21 +422,21 @@ renderText(const Report& report)
         << (o.machine.barrier ? ", barrier" : "") << "\n";
     out << "cycles            " << s.cycles << " (" << s.epochs
         << " epoch" << (s.epochs == 1 ? "" : "s") << ", "
-        << jsonNumber(report.seconds * 1e3) << " ms at 1 GHz)\n";
+        << Table::num(report.seconds * 1e3) << " ms at 1 GHz)\n";
     out << "invocations       " << s.invocations << "\n";
     out << "edges processed   " << s.edgesProcessed << "\n";
     out << "PU utilization    "
-        << jsonNumber(100.0 * s.utilization()) << " %\n";
+        << Table::num(100.0 * s.utilization()) << " %\n";
     out << "mem accesses      " << s.memAccesses() << " words ("
-        << jsonNumber(report.bandwidthBytesPerSec / 1e9) << " GB/s)\n";
+        << Table::num(report.bandwidthBytesPerSec / 1e9) << " GB/s)\n";
     out << "NoC               " << s.noc.messagesDelivered
         << " msgs, " << s.noc.flitHops << " flit-hops, "
         << s.noc.deliveryStalls << " stalls\n";
     out << "energy            "
-        << jsonNumber(report.energy.totalJ() * 1e3) << " mJ (logic "
-        << jsonNumber(report.energy.logicPct()) << " %, memory "
-        << jsonNumber(report.energy.memoryPct()) << " %, network "
-        << jsonNumber(report.energy.networkPct()) << " %)\n";
+        << Table::num(report.energy.totalJ() * 1e3) << " mJ (logic "
+        << Table::num(report.energy.logicPct()) << " %, memory "
+        << Table::num(report.energy.memoryPct()) << " %, network "
+        << Table::num(report.energy.networkPct()) << " %)\n";
     if (report.validated)
         out << "validated         output matches the sequential"
                " reference\n";
@@ -455,6 +454,10 @@ cliMain(int argc, const char* const* argv, std::ostream& out,
     }
     if (parsed.options.help) {
         out << usageText();
+        return 0;
+    }
+    if (parsed.options.listDatasets) {
+        out << datasetListText();
         return 0;
     }
     const Report report = runScenario(parsed.options);

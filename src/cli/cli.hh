@@ -33,11 +33,18 @@ struct Options
     /** Named dataset ("amazon", "wiki", "rmat14", ...); empty = RMAT
      *  at `scale`. */
     std::string dataset;
-    unsigned scale = 12;     //!< RMAT scale when `dataset` is empty
-    std::uint64_t seed = 1;  //!< dataset/weight seed
-    bool json = false;       //!< emit JSON instead of text
-    bool validate = false;   //!< check against sequential reference
-    bool help = false;       //!< --help was requested
+    unsigned scale = 12; //!< RMAT scale when `dataset` is empty
+    /** Vertex-scale override for named stand-ins (0 = native size);
+     *  set by the sweep layer's quick/full and NAME@SCALE specs. */
+    unsigned datasetScale = 0;
+    /** PageRank epoch override (0 = the kernel default of 10); the
+     *  figure benches cap it at 5 for run-time budget. */
+    unsigned pagerankIterations = 0;
+    std::uint64_t seed = 1;   //!< dataset/weight seed
+    bool json = false;        //!< emit JSON instead of text
+    bool validate = false;    //!< check against sequential reference
+    bool help = false;        //!< --help was requested
+    bool listDatasets = false; //!< --list-datasets was requested
 };
 
 /** Outcome of parsing argv: options, or a diagnostic. */
@@ -56,6 +63,23 @@ ParseResult parseArgs(int argc, const char* const* argv);
 
 /** The --help text. */
 std::string usageText();
+
+/** The --list-datasets text (shared with `dalorex sweep`). */
+std::string datasetListText();
+
+// Enum-name parsers shared with the sweep grid flags; all return
+// false on unknown names and accept the usage-text aliases.
+bool parseKernel(const std::string& text, Kernel& out);
+bool parseTopology(const std::string& text, NocTopology& out);
+bool parsePolicy(const std::string& text, SchedPolicy& out);
+bool parseDistribution(const std::string& text, Distribution& out);
+
+/** Parse a decimal unsigned integer; false on junk or overflow. */
+bool parseU64(const std::string& text, std::uint64_t& out);
+
+/** Same, bounds-checked into [min, max]. */
+bool parseU32(const std::string& text, std::uint32_t min,
+              std::uint32_t max, std::uint32_t& out);
 
 /** Everything measured by one scenario run. */
 struct Report

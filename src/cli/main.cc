@@ -1,15 +1,21 @@
 /**
  * @file
- * Entry point of the `dalorex` binary; all behavior lives in
- * cli::cliMain so tests can drive it in-process.
+ * Entry point of the `dalorex` binary: dispatches the `sweep`
+ * subcommand, otherwise runs one scenario. All behavior lives in
+ * cli::cliMain / sweep::sweepMain so tests can drive them in-process.
  */
 
+#include <cstring>
 #include <iostream>
 
 #include "cli/cli.hh"
+#include "sweep/sweep_cli.hh"
 
 int
 main(int argc, char** argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return dalorex::sweep::sweepMain(argc - 1, argv + 1, std::cout,
+                                         std::cerr);
     return dalorex::cli::cliMain(argc, argv, std::cout, std::cerr);
 }

@@ -1,5 +1,6 @@
 #include "common/table.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -117,6 +118,16 @@ Table::sci(double value, int precision)
 {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+std::string
+Table::num(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
     return buf;
 }
 

@@ -45,6 +45,12 @@ class Table
     static std::string fmt(double value, int precision = 2);
     /** Format helper: scientific notation. */
     static std::string sci(double value, int precision = 2);
+    /**
+     * Format helper: shortest %.12g rendering that is always a valid
+     * JSON number (non-finite values become "0"). Shared by the CLI
+     * and sweep JSON emitters.
+     */
+    static std::string num(double value);
 
   private:
     static std::string csvEscape(const std::string& cell);

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Tiny shared string helpers (previously copy-pasted per module).
+ */
+
+#ifndef DALOREX_COMMON_TEXT_HH
+#define DALOREX_COMMON_TEXT_HH
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace dalorex
+{
+
+/** ASCII lower-casing for flag/name matching. */
+inline std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace dalorex
+
+#endif // DALOREX_COMMON_TEXT_HH

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/logging.hh"
+#include "common/text.hh"
 #include "graph/rmat.hh"
 
 namespace dalorex
@@ -11,14 +12,6 @@ namespace dalorex
 
 namespace
 {
-
-std::string
-lower(std::string s)
-{
-    std::transform(s.begin(), s.end(), s.begin(),
-                   [](unsigned char ch) { return std::tolower(ch); });
-    return s;
-}
 
 /** Amazon co-purchase stand-in: full paper size at scale 18. */
 Dataset
@@ -79,20 +72,94 @@ makeLiveJournal(unsigned scale, std::uint64_t seed)
     return ds;
 }
 
+/** Alias matching shared by the factories and knownDataset(). */
+bool
+isAmazon(const std::string& id)
+{
+    return id == "amazon" || id == "az";
+}
+
+bool
+isWiki(const std::string& id)
+{
+    return id == "wiki" || id == "wikipedia" || id == "wk";
+}
+
+bool
+isLiveJournal(const std::string& id)
+{
+    return id == "livejournal" || id == "lj";
+}
+
+/** Scale encoded in an "rmatN" id; -1 when `id` is not rmat-shaped. */
+int
+rmatScaleOf(const std::string& id)
+{
+    if (id.rfind("rmat", 0) != 0)
+        return -1;
+    const std::string digits = id.substr(4);
+    if (digits.empty() || digits.size() > 4)
+        return -1;
+    int scale = 0;
+    for (char ch : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(ch)))
+            return -1;
+        scale = scale * 10 + (ch - '0');
+    }
+    return scale;
+}
+
 } // namespace
+
+std::vector<DatasetListing>
+datasetCatalog()
+{
+    return {
+        {"amazon", "az",
+         "co-purchase stand-in, paper size V=262K E~1.2M, mild skew"},
+        {"wiki", "wikipedia, wk",
+         "Wikipedia-links stand-in, avg degree 24, strong skew"},
+        {"livejournal", "lj",
+         "soc-LiveJournal1 stand-in, avg degree 15"},
+        {"rmatN", "",
+         "RMAT at scale N in [4,31] (Graph500 parameters, edge "
+         "factor 10), e.g. rmat16"},
+    };
+}
+
+bool
+knownDataset(const std::string& name)
+{
+    const std::string id = toLower(name);
+    if (isAmazon(id) || isWiki(id) || isLiveJournal(id))
+        return true;
+    const int scale = rmatScaleOf(id);
+    return scale >= 4 && scale <= 31;
+}
+
+unsigned
+defaultQuickScale(const std::string& name)
+{
+    const std::string id = toLower(name);
+    if (isAmazon(id) || isLiveJournal(id))
+        return 15;
+    if (isWiki(id))
+        return 14;
+    return 0; // rmatN carries its scale in the name
+}
 
 Dataset
 makeDatasetAt(const std::string& name, unsigned scale,
               std::uint64_t seed)
 {
-    const std::string id = lower(name);
+    const std::string id = toLower(name);
     fatal_if(scale < 4 || scale > 31, "dataset scale out of [4,31]: ",
              scale);
-    if (id == "amazon" || id == "az")
+    if (isAmazon(id))
         return makeAmazon(scale, seed);
-    if (id == "wiki" || id == "wikipedia" || id == "wk")
+    if (isWiki(id))
         return makeWiki(scale, seed);
-    if (id == "livejournal" || id == "lj")
+    if (isLiveJournal(id))
         return makeLiveJournal(scale, seed);
     return makeDataset(name, seed);
 }
@@ -100,22 +167,17 @@ makeDatasetAt(const std::string& name, unsigned scale,
 Dataset
 makeDataset(const std::string& name, std::uint64_t seed)
 {
-    const std::string id = lower(name);
-    if (id == "amazon" || id == "az")
+    const std::string id = toLower(name);
+    if (isAmazon(id))
         return makeAmazon(18, seed);
-    if (id == "wiki" || id == "wikipedia" || id == "wk")
+    if (isWiki(id))
         return makeWiki(18, seed);
-    if (id == "livejournal" || id == "lj")
+    if (isLiveJournal(id))
         return makeLiveJournal(18, seed);
     if (id.rfind("rmat", 0) == 0) {
         const std::string digits = id.substr(4);
-        fatal_if(digits.empty(), "dataset 'rmatN' needs a scale: ", name);
-        int scale = 0;
-        for (char ch : digits) {
-            fatal_if(!std::isdigit(static_cast<unsigned char>(ch)),
-                     "bad rmat scale in dataset name: ", name);
-            scale = scale * 10 + (ch - '0');
-        }
+        const int scale = rmatScaleOf(id);
+        fatal_if(scale < 0, "bad rmat scale in dataset name: ", name);
         fatal_if(scale < 4 || scale > 31,
                  "rmat scale out of [4,31]: ", scale);
         RmatParams params;

@@ -24,6 +24,7 @@
 #define DALOREX_GRAPH_DATASETS_HH
 
 #include <string>
+#include <vector>
 
 #include "graph/csr.hh"
 
@@ -56,6 +57,31 @@ Dataset makeDataset(const std::string& name, std::uint64_t seed = 1);
  */
 Dataset makeDatasetAt(const std::string& name, unsigned scale,
                       std::uint64_t seed = 1);
+
+/** One --list-datasets catalog entry. */
+struct DatasetListing
+{
+    std::string name;    //!< canonical makeDataset() name
+    std::string aliases; //!< accepted alternates ("az, AZ")
+    std::string note;    //!< what it stands in for
+};
+
+/** The named datasets plus the rmatN family, in listing order. */
+std::vector<DatasetListing> datasetCatalog();
+
+/**
+ * True when makeDataset(name) would succeed: a catalog alias or
+ * "rmatN" with N in [4, 31]. Lets batch layers reject bad names up
+ * front instead of fatal()ing mid-run on a worker thread.
+ */
+bool knownDataset(const std::string& name);
+
+/**
+ * The named stand-ins' quick-mode vertex scale (amazon/livejournal
+ * 15, wiki 14); 0 for rmatN. Single source for the benches' --quick
+ * shrink and `dalorex sweep --quick`.
+ */
+unsigned defaultQuickScale(const std::string& name);
 
 } // namespace dalorex
 

@@ -1,0 +1,48 @@
+#include "sweep/pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dalorex
+{
+namespace sweep
+{
+
+void
+runIndexed(std::size_t n, unsigned threads,
+           const std::function<void(std::size_t)>& job)
+{
+    const std::size_t workers =
+        std::min<std::size_t>(std::max(1u, threads), n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            job(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1))
+            job(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w)
+        pool.emplace_back(drain);
+    drain(); // the calling thread is worker 0
+    for (std::thread& t : pool)
+        t.join();
+}
+
+unsigned
+defaultWorkerThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace sweep
+} // namespace dalorex

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * A fixed-size worker pool for embarrassingly parallel index spaces.
+ *
+ * Workers pull indices from a shared atomic counter and each invokes
+ * the job on its own stack — one engine instance per worker, no shared
+ * mutable state — so results written into pre-sized slot `i` are
+ * identical regardless of the thread count or scheduling order.
+ */
+
+#ifndef DALOREX_SWEEP_POOL_HH
+#define DALOREX_SWEEP_POOL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace dalorex
+{
+namespace sweep
+{
+
+/**
+ * Invoke `job(i)` for every i in [0, n) on up to `threads` workers.
+ * threads <= 1 (or n <= 1) runs inline on the calling thread. Blocks
+ * until all jobs finish.
+ */
+void runIndexed(std::size_t n, unsigned threads,
+                const std::function<void(std::size_t)>& job);
+
+/** The host core count (>= 1): the default worker-pool size. */
+unsigned defaultWorkerThreads();
+
+} // namespace sweep
+} // namespace dalorex
+
+#endif // DALOREX_SWEEP_POOL_HH

@@ -1,0 +1,34 @@
+#include "sweep/sweep.hh"
+
+#include "sweep/pool.hh"
+
+namespace dalorex
+{
+namespace sweep
+{
+
+RunResult
+run(const Plan& plan, unsigned threads)
+{
+    return run(expand(plan), threads);
+}
+
+RunResult
+run(const ExpandResult& expanded, unsigned threads)
+{
+    RunResult result;
+    if (!expanded.ok) {
+        result.ok = false;
+        result.error = expanded.error;
+        return result;
+    }
+    result.baseline = expanded.baseline;
+    result.reports.resize(expanded.points.size());
+    runIndexed(expanded.points.size(), threads, [&](std::size_t i) {
+        result.reports[i] = cli::runScenario(expanded.points[i]);
+    });
+    return result;
+}
+
+} // namespace sweep
+} // namespace dalorex

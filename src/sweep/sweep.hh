@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The sweep orchestrator: expand a declarative Plan and execute every
+ * scenario point on a fixed-size worker pool.
+ *
+ * Each worker runs one complete engine instance per point (dataset
+ * build, kernel setup, Machine, energy model) with no shared mutable
+ * state; results land in their expansion-order slot, so the report
+ * vector — and everything rendered from it — is byte-identical for
+ * any worker count.
+ */
+
+#ifndef DALOREX_SWEEP_SWEEP_HH
+#define DALOREX_SWEEP_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "sweep/plan.hh"
+
+namespace dalorex
+{
+namespace sweep
+{
+
+/** Outcome of running a plan: one report per point, or a diagnostic. */
+struct RunResult
+{
+    std::vector<cli::Report> reports; //!< expansion order
+    GridShape baseline{};             //!< resolved baseline shape
+    bool ok = true;
+    std::string error; //!< one line, set when !ok
+};
+
+/**
+ * Expand `plan` and run every point on up to `threads` workers.
+ * Expansion errors (empty axis, unknown dataset, missing baseline)
+ * return ok == false without running anything.
+ */
+RunResult run(const Plan& plan, unsigned threads);
+
+/** Run an already-expanded plan (also propagates its !ok state). */
+RunResult run(const ExpandResult& expanded, unsigned threads);
+
+} // namespace sweep
+} // namespace dalorex
+
+#endif // DALOREX_SWEEP_SWEEP_HH

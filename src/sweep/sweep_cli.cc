@@ -1,0 +1,381 @@
+#include "sweep/sweep_cli.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/text.hh"
+#include "graph/datasets.hh"
+#include "sweep/aggregate.hh"
+#include "sweep/pool.hh"
+#include "sweep/sweep.hh"
+
+namespace dalorex
+{
+namespace sweep
+{
+namespace
+{
+
+std::vector<std::string>
+splitCommas(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+SweepParseResult
+fail(const std::string& message)
+{
+    SweepParseResult result;
+    result.ok = false;
+    result.error = message;
+    return result;
+}
+
+/** A --dataset entry before quick/full default scales apply. */
+struct RawDataset
+{
+    std::string name;
+    unsigned scale = 0; //!< explicit NAME@SCALE (0 = unset)
+};
+
+} // namespace
+
+SweepParseResult
+parseSweepArgs(int argc, const char* const* argv)
+{
+    SweepParseResult result;
+    SweepOptions& o = result.options;
+    std::vector<RawDataset> rawDatasets;
+    std::vector<unsigned> rmatScales;
+    // Axes with non-empty Plan defaults drop them on the flag's first
+    // occurrence; every repeated flag then appends, like the others.
+    bool sawTopology = false;
+    bool sawPolicy = false;
+    bool sawDistribution = false;
+
+    auto needsValue = [](const std::string& flag) {
+        static const std::vector<std::string> valued = {
+            "--kernel",   "--dataset",      "--scale",
+            "--grid-size", "--topology",    "--policy",
+            "--distribution", "--barrier",  "--baseline",
+            "--ruche-factor", "--invoke-overhead", "--seed",
+            "--pagerank-iters", "--threads", "--csv", "--jsonl",
+        };
+        return std::find(valued.begin(), valued.end(), flag) !=
+               valued.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        std::string value;
+        if (needsValue(flag)) {
+            if (i + 1 >= argc)
+                return fail(flag + " needs a value");
+            value = argv[++i];
+        }
+
+        if (flag == "--help" || flag == "-h") {
+            o.help = true;
+        } else if (flag == "--list-datasets") {
+            o.listDatasets = true;
+        } else if (flag == "--kernel") {
+            for (const std::string& item : splitCommas(value)) {
+                if (toLower(item) == "all") {
+                    for (const Kernel k : allKernels())
+                        o.plan.kernels.push_back(k);
+                    continue;
+                }
+                Kernel kernel;
+                if (!cli::parseKernel(item, kernel))
+                    return fail("unknown kernel: " + item +
+                                " (bfs|sssp|wcc|pagerank|spmv|all)");
+                o.plan.kernels.push_back(kernel);
+            }
+        } else if (flag == "--dataset") {
+            for (const std::string& item : splitCommas(value)) {
+                RawDataset raw;
+                const std::size_t at = item.find('@');
+                raw.name = item.substr(0, at);
+                if (raw.name.empty())
+                    return fail("--dataset needs a name, got: " +
+                                item);
+                if (at != std::string::npos) {
+                    std::uint32_t scale = 0;
+                    if (!cli::parseU32(item.substr(at + 1), 4, 31,
+                                       scale))
+                        return fail("dataset scale must be in "
+                                    "[4, 31], got: " + item);
+                    raw.scale = scale;
+                }
+                rawDatasets.push_back(std::move(raw));
+            }
+        } else if (flag == "--scale") {
+            for (const std::string& item : splitCommas(value)) {
+                std::uint32_t scale = 0;
+                if (!cli::parseU32(item, 4, 26, scale))
+                    return fail("--scale must be in [4, 26], got " +
+                                item);
+                rmatScales.push_back(scale);
+            }
+        } else if (flag == "--grid-size") {
+            for (const std::string& item : splitCommas(value)) {
+                GridShape shape;
+                if (!parseGridShape(item, shape))
+                    return fail("bad grid size (want WxH, e.g. "
+                                "16x16): " + item);
+                o.plan.grids.push_back(shape);
+            }
+        } else if (flag == "--topology") {
+            if (!sawTopology)
+                o.plan.topologies.clear();
+            sawTopology = true;
+            for (const std::string& item : splitCommas(value)) {
+                NocTopology topology;
+                if (!cli::parseTopology(item, topology))
+                    return fail("unknown topology: " + item +
+                                " (mesh|torus|torus-ruche)");
+                o.plan.topologies.push_back(topology);
+            }
+        } else if (flag == "--policy") {
+            if (!sawPolicy)
+                o.plan.policies.clear();
+            sawPolicy = true;
+            for (const std::string& item : splitCommas(value)) {
+                SchedPolicy policy;
+                if (!cli::parsePolicy(item, policy))
+                    return fail("unknown policy: " + item +
+                                " (round-robin|traffic-aware)");
+                o.plan.policies.push_back(policy);
+            }
+        } else if (flag == "--distribution") {
+            if (!sawDistribution)
+                o.plan.distributions.clear();
+            sawDistribution = true;
+            for (const std::string& item : splitCommas(value)) {
+                Distribution distribution;
+                if (!cli::parseDistribution(item, distribution))
+                    return fail("unknown distribution: " + item +
+                                " (low-order|high-order)");
+                o.plan.distributions.push_back(distribution);
+            }
+        } else if (flag == "--barrier") {
+            const std::string mode = toLower(value);
+            if (mode == "off")
+                o.plan.barriers = {false};
+            else if (mode == "on")
+                o.plan.barriers = {true};
+            else if (mode == "both")
+                o.plan.barriers = {false, true};
+            else
+                return fail("--barrier must be off|on|both, got " +
+                            value);
+        } else if (flag == "--baseline") {
+            if (!parseGridShape(value, o.plan.baseline))
+                return fail("bad --baseline (want WxH, e.g. 4x4): " +
+                            value);
+        } else if (flag == "--ruche-factor") {
+            if (!cli::parseU32(value, 2, 64, o.plan.rucheFactor))
+                return fail("--ruche-factor must be in [2, 64], got " +
+                            value);
+        } else if (flag == "--invoke-overhead") {
+            if (!cli::parseU32(value, 0, 1'000'000,
+                               o.plan.invokeOverhead))
+                return fail("--invoke-overhead must be in "
+                            "[0, 1000000], got " + value);
+        } else if (flag == "--seed") {
+            if (!cli::parseU64(value, o.plan.seed))
+                return fail("--seed must be an integer, got " + value);
+        } else if (flag == "--pagerank-iters") {
+            std::uint32_t iters = 0;
+            if (!cli::parseU32(value, 1, 1000, iters))
+                return fail("--pagerank-iters must be in [1, 1000], "
+                            "got " + value);
+            o.plan.pagerankIterations = iters;
+        } else if (flag == "--threads") {
+            std::uint32_t threads = 0;
+            if (!cli::parseU32(value, 1, 256, threads))
+                return fail("--threads must be in [1, 256], got " +
+                            value);
+            o.threads = threads;
+        } else if (flag == "--csv") {
+            if (value.empty() || value.rfind("--", 0) == 0)
+                return fail("--csv needs a file path");
+            o.csvPath = value;
+        } else if (flag == "--jsonl") {
+            if (value.empty() || value.rfind("--", 0) == 0)
+                return fail("--jsonl needs a file path");
+            o.jsonlPath = value;
+        } else if (flag == "--json") {
+            o.json = true;
+        } else if (flag == "--quick") {
+            o.quick = true;
+        } else if (flag == "--full") {
+            o.quick = false;
+        } else if (flag == "--validate") {
+            o.plan.validate = true;
+        } else {
+            return fail("unknown option: " + flag + " (try --help)");
+        }
+    }
+
+    // Defaults that depend on other flags apply once argv is read.
+    if (o.plan.kernels.empty())
+        o.plan.kernels = allKernels();
+    if (o.plan.grids.empty())
+        o.plan.grids = {{4, 4}, {8, 8}, {16, 16}};
+    for (const RawDataset& raw : rawDatasets) {
+        DatasetSpec spec;
+        spec.name = raw.name;
+        spec.scale = raw.scale != 0 ? raw.scale
+                     : o.quick      ? defaultQuickScale(raw.name)
+                                    : 0;
+        o.plan.datasets.push_back(std::move(spec));
+    }
+    for (const unsigned scale : rmatScales)
+        o.plan.datasets.push_back({"", scale});
+    if (o.plan.datasets.empty())
+        o.plan.datasets.push_back({"", o.quick ? 10u : 14u});
+    return result;
+}
+
+std::string
+sweepUsageText()
+{
+    return
+        "usage: dalorex sweep [options]\n"
+        "\n"
+        "Expands a scenario grid (kernels x datasets x machine shapes\n"
+        "x policy knobs) into concrete runs, executes them on a\n"
+        "worker pool, and prints one aggregate row per point with\n"
+        "speedup vs the baseline grid, strong-scaling parallel\n"
+        "efficiency and energy per edge.\n"
+        "\n"
+        "grid axes (comma-separated values):\n"
+        "  --kernel K,...        bfs|sssp|wcc|pagerank|spmv|all"
+        " (default all)\n"
+        "  --dataset NAME,...    amazon|wiki|livejournal|rmatN;"
+        " NAME@SCALE pins\n"
+        "                        a stand-in scale"
+        " (default: RMAT at --scale)\n"
+        "  --scale N,...         RMAT scales [4,26] when --dataset is"
+        " absent\n"
+        "                        (default: 10 quick, 14 full)\n"
+        "  --grid-size WxH,...   machine shapes"
+        " (default 4x4,8x8,16x16)\n"
+        "  --topology T,...      mesh|torus|torus-ruche"
+        " (default torus)\n"
+        "  --policy P,...        round-robin|traffic-aware"
+        " (default traffic-aware)\n"
+        "  --distribution D,...  low-order|high-order"
+        " (default low-order)\n"
+        "  --barrier M           off|on|both (default off)\n"
+        "\n"
+        "scenario knobs:\n"
+        "  --baseline WxH        speedup baseline shape"
+        " (default: first --grid-size)\n"
+        "  --ruche-factor N      ruche hop distance [2, 64]"
+        " (default 2)\n"
+        "  --invoke-overhead N   extra cycles per task invocation\n"
+        "  --seed N              dataset/weight seed (default 1)\n"
+        "  --pagerank-iters N    PageRank epochs [1, 1000]"
+        " (default: kernel's 10)\n"
+        "  --quick / --full      stand-in scale for named datasets"
+        " (default quick)\n"
+        "  --validate            check every point against the"
+        " sequential reference\n"
+        "\n"
+        "execution and output:\n"
+        "  --threads N           worker threads [1, 256]"
+        " (default: host cores);\n"
+        "                        output is identical for every N\n"
+        "  --csv PATH            write the aggregate table as CSV\n"
+        "  --jsonl PATH          write one JSON object per row\n"
+        "  --json                print JSON-lines to stdout instead"
+        " of the table\n"
+        "  --list-datasets       list the dataset names and exit\n"
+        "  --help                this text\n"
+        "\n"
+        "examples:\n"
+        "  dalorex sweep --kernel all --grid-size 4x4,8x8 --quick"
+        " --threads 4 --csv out.csv\n"
+        "  dalorex sweep --kernel bfs --scale 10,12,14"
+        " --grid-size 1x1,4x4,16x16 --baseline 1x1\n";
+}
+
+int
+sweepMain(int argc, const char* const* argv, std::ostream& out,
+          std::ostream& err)
+{
+    const SweepParseResult parsed = parseSweepArgs(argc, argv);
+    if (!parsed.ok) {
+        err << "dalorex sweep: " << parsed.error << "\n";
+        return 2;
+    }
+    const SweepOptions& o = parsed.options;
+    if (o.help) {
+        out << sweepUsageText();
+        return 0;
+    }
+    if (o.listDatasets) {
+        out << cli::datasetListText();
+        return 0;
+    }
+
+    const ExpandResult expanded = expand(o.plan);
+    if (!expanded.ok) {
+        err << "dalorex sweep: " << expanded.error << "\n";
+        return 2;
+    }
+    const unsigned threads =
+        o.threads > 0 ? o.threads : defaultWorkerThreads();
+    err << "[sweep] " << expanded.points.size()
+        << " scenario points on " << threads << " worker thread"
+        << (threads == 1 ? "" : "s") << "\n";
+
+    const RunResult run_result = run(expanded, threads);
+    if (!run_result.ok) {
+        err << "dalorex sweep: " << run_result.error << "\n";
+        return 2;
+    }
+    const AggregateResult agg =
+        aggregate(run_result.reports, run_result.baseline,
+                  MissingBaseline::error);
+    if (!agg.ok) {
+        err << "dalorex sweep: " << agg.error << "\n";
+        return 2;
+    }
+
+    const Table table = toTable(agg.rows);
+    if (o.json)
+        out << toJsonl(agg.rows);
+    else
+        out << table.toText();
+    if (!o.csvPath.empty())
+        table.writeCsv(o.csvPath);
+    if (!o.jsonlPath.empty()) {
+        std::ofstream file(o.jsonlPath);
+        fatal_if(!file, "cannot open JSONL output file: ",
+                 o.jsonlPath);
+        file << toJsonl(agg.rows);
+        fatal_if(!file, "error writing JSONL output file: ",
+                 o.jsonlPath);
+    }
+    return 0;
+}
+
+} // namespace sweep
+} // namespace dalorex

@@ -105,6 +105,16 @@ TEST(CliParse, RejectsUnknownEnumValues)
     EXPECT_FALSE(parse({"--distribution", "hash"}).ok);
 }
 
+TEST(CliParse, RejectsUnknownDatasetAtParseTime)
+{
+    // A usage error (exit 2), not a mid-run fatal().
+    const ParseResult r = parse({"--dataset", "orkut"});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("orkut"), std::string::npos);
+    EXPECT_TRUE(parse({"--dataset", "rmat12"}).ok);
+    EXPECT_TRUE(parse({"--dataset", "livejournal"}).ok);
+}
+
 TEST(CliParse, RejectsMissingAndMalformedValues)
 {
     EXPECT_FALSE(parse({"--kernel"}).ok);
@@ -236,6 +246,20 @@ TEST(CliMain, HelpPrintsUsageAndExitsZero)
     const int code = runCli({"--help"}, out, err);
     EXPECT_EQ(code, 0);
     EXPECT_NE(out.find("usage: dalorex"), std::string::npos);
+    // The sweep subcommand and the dataset listing are advertised.
+    EXPECT_NE(out.find("sweep"), std::string::npos);
+    EXPECT_NE(out.find("--list-datasets"), std::string::npos);
+}
+
+TEST(CliMain, ListDatasetsPrintsCatalogAndExitsZero)
+{
+    std::string out;
+    std::string err;
+    const int code = runCli({"--list-datasets"}, out, err);
+    EXPECT_EQ(code, 0) << err;
+    for (const char* name :
+         {"amazon", "wiki", "livejournal", "rmatN"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
 }
 
 } // namespace

@@ -4,14 +4,25 @@
  * RunStats counters across two independent runs, for one kernel per
  * app. Guards future performance refactors against nondeterminism
  * (unordered containers, address-dependent ordering, data races).
+ *
+ * The sweep orchestrator inherits the same contract one level up: a
+ * plan run with 1 worker thread and with 8 must render byte-identical
+ * JSONL.
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "apps/graph_app.hh"
 #include "apps/kernels.hh"
 #include "graph/rmat.hh"
 #include "sim/machine.hh"
+#include "sweep/aggregate.hh"
+#include "sweep/sweep.hh"
 
 namespace dalorex
 {
@@ -93,6 +104,50 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Kernel>& info) {
         return std::string(toString(info.param));
     });
+
+/** Run `plan` on `threads` workers and render JSONL. */
+std::string
+sweepJsonl(const sweep::Plan& plan, unsigned threads)
+{
+    const sweep::RunResult result = sweep::run(plan, threads);
+    EXPECT_TRUE(result.ok) << result.error;
+    const sweep::AggregateResult agg =
+        sweep::aggregate(result.reports, result.baseline);
+    EXPECT_TRUE(agg.ok) << agg.error;
+    return sweep::toJsonl(agg.rows);
+}
+
+std::vector<std::string>
+sortedLines(const std::string& text)
+{
+    std::istringstream stream(text);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(stream, line))
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+TEST(SweepDeterminism, JsonlByteIdenticalAcrossThreadCounts)
+{
+    sweep::Plan plan;
+    plan.kernels = {Kernel::bfs, Kernel::sssp, Kernel::wcc};
+    plan.datasets = {{"", 8}};
+    plan.grids = {{2, 2}, {4, 4}};
+    plan.barriers = {false, true};
+    plan.seed = 23;
+
+    const std::string serial = sweepJsonl(plan, 1);
+    const std::string parallel = sweepJsonl(plan, 8);
+    ASSERT_FALSE(serial.empty());
+    // Unsorted equality is the real contract: results land in their
+    // expansion-order slots, so even row order is thread-invariant.
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(sortedLines(serial), sortedLines(parallel));
+    // 3 kernels x 1 dataset x 2 grids x 2 barrier modes.
+    EXPECT_EQ(std::count(serial.begin(), serial.end(), '\n'), 12);
+}
 
 } // namespace
 } // namespace dalorex

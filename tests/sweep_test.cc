@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests of the sweep orchestrator: grid expansion (cartesian order,
+ * axis dedup, edge-case diagnostics), the worker pool, aggregation's
+ * derived columns, the JSONL/CSV renderers, and the `dalorex sweep`
+ * subcommand end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sweep/aggregate.hh"
+#include "sweep/pool.hh"
+#include "sweep/sweep.hh"
+#include "sweep/sweep_cli.hh"
+
+namespace dalorex
+{
+namespace sweep
+{
+namespace
+{
+
+/** A small two-kernel, two-grid plan over a scale-8 RMAT graph. */
+Plan
+miniPlan()
+{
+    Plan plan;
+    plan.kernels = {Kernel::bfs, Kernel::wcc};
+    plan.datasets = {{"", 8}};
+    plan.grids = {{2, 2}, {4, 4}};
+    plan.seed = 3;
+    return plan;
+}
+
+TEST(GridShapeParse, AcceptsWxHAndRejectsJunk)
+{
+    GridShape shape;
+    ASSERT_TRUE(parseGridShape("16x16", shape));
+    EXPECT_EQ(shape.width, 16u);
+    EXPECT_EQ(shape.height, 16u);
+    ASSERT_TRUE(parseGridShape("4x2", shape));
+    EXPECT_EQ(shape.width, 4u);
+    EXPECT_EQ(shape.height, 2u);
+
+    EXPECT_FALSE(parseGridShape("", shape));
+    EXPECT_FALSE(parseGridShape("16", shape));
+    EXPECT_FALSE(parseGridShape("x16", shape));
+    EXPECT_FALSE(parseGridShape("16x", shape));
+    EXPECT_FALSE(parseGridShape("16x16x16", shape));
+    EXPECT_FALSE(parseGridShape("0x4", shape));
+    EXPECT_FALSE(parseGridShape("axb", shape));
+}
+
+TEST(Expand, CartesianProductInKernelMajorOrder)
+{
+    const ExpandResult result = expand(miniPlan());
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(result.points.size(), 4u);
+    EXPECT_EQ(result.points[0].kernel, Kernel::bfs);
+    EXPECT_EQ(result.points[0].machine.width, 2u);
+    EXPECT_EQ(result.points[1].kernel, Kernel::bfs);
+    EXPECT_EQ(result.points[1].machine.width, 4u);
+    EXPECT_EQ(result.points[2].kernel, Kernel::wcc);
+    EXPECT_EQ(result.points[3].kernel, Kernel::wcc);
+    // The default baseline is the first grid shape.
+    EXPECT_EQ(result.baseline, (GridShape{2, 2}));
+}
+
+TEST(Expand, DuplicateAxisPointsCollapse)
+{
+    Plan plan = miniPlan();
+    plan.kernels = {Kernel::bfs, Kernel::bfs, Kernel::bfs};
+    plan.grids = {{2, 2}, {4, 4}, {2, 2}};
+    plan.datasets = {{"", 8}, {"", 8}};
+    const ExpandResult result = expand(plan);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.points.size(), 2u); // 1 kernel x 1 ds x 2 grids
+}
+
+TEST(Expand, EmptyAxisIsACleanError)
+{
+    Plan plan = miniPlan();
+    plan.kernels.clear();
+    ExpandResult result = expand(plan);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("kernel axis"), std::string::npos);
+
+    plan = miniPlan();
+    plan.grids.clear();
+    result = expand(plan);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("grid axis"), std::string::npos);
+
+    plan = miniPlan();
+    plan.topologies.clear();
+    result = expand(plan);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("topology axis"), std::string::npos);
+}
+
+TEST(Expand, UnknownDatasetIsACleanError)
+{
+    Plan plan = miniPlan();
+    plan.datasets = {{"orkut", 0}};
+    const ExpandResult result = expand(plan);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("orkut"), std::string::npos);
+    // One line: no embedded newline in the diagnostic.
+    EXPECT_EQ(result.error.find('\n'), std::string::npos);
+}
+
+TEST(Expand, RejectsScaleOverrideOnRmatNames)
+{
+    // rmatN names carry their scale; a pinned override would be
+    // silently ignored downstream, so it is a plan error.
+    Plan plan = miniPlan();
+    plan.datasets = {{"rmat16", 8}};
+    const ExpandResult result = expand(plan);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("rmat16"), std::string::npos);
+    EXPECT_EQ(result.error.find('\n'), std::string::npos);
+}
+
+TEST(Expand, MissingBaselineIsACleanError)
+{
+    Plan plan = miniPlan();
+    plan.baseline = {16, 16};
+    const ExpandResult result = expand(plan);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("16x16"), std::string::npos);
+    EXPECT_EQ(result.error.find('\n'), std::string::npos);
+}
+
+TEST(Expand, RucheFactorAppliesOnlyToRucheTopology)
+{
+    Plan plan = miniPlan();
+    plan.topologies = {NocTopology::torus, NocTopology::torusRuche};
+    plan.rucheFactor = 4;
+    const ExpandResult result = expand(plan);
+    ASSERT_TRUE(result.ok) << result.error;
+    for (const cli::Options& o : result.points) {
+        if (o.machine.topology == NocTopology::torusRuche)
+            EXPECT_EQ(o.machine.rucheFactor, 4u);
+        else
+            EXPECT_EQ(o.machine.rucheFactor, 0u);
+    }
+}
+
+TEST(Pool, CoversEveryIndexExactlyOnce)
+{
+    std::vector<int> hits(199, 0);
+    runIndexed(hits.size(), 8,
+               [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+
+    std::vector<int> serial(3, 0);
+    runIndexed(serial.size(), 1,
+               [&](std::size_t i) { serial[i] += 1; });
+    EXPECT_EQ(serial, std::vector<int>({1, 1, 1}));
+}
+
+TEST(RunAggregate, DerivedColumnsAgainstBaseline)
+{
+    const RunResult result = run(miniPlan(), 2);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(result.reports.size(), 4u);
+
+    const AggregateResult agg =
+        aggregate(result.reports, result.baseline);
+    ASSERT_TRUE(agg.ok) << agg.error;
+    ASSERT_EQ(agg.rows.size(), 4u);
+
+    for (const Row& row : agg.rows) {
+        EXPECT_TRUE(row.hasBaseline);
+        EXPECT_GT(row.energyPerEdgeJ, 0.0);
+        if (row.isBaseline) {
+            EXPECT_DOUBLE_EQ(row.speedup, 1.0);
+            EXPECT_DOUBLE_EQ(row.parallelEff, 1.0);
+        } else {
+            // 4x4 has 4x the tiles of the 2x2 baseline.
+            EXPECT_NEAR(row.parallelEff, row.speedup / 4.0, 1e-12);
+        }
+    }
+    EXPECT_TRUE(agg.rows[0].isBaseline);
+    EXPECT_FALSE(agg.rows[1].isBaseline);
+}
+
+TEST(RunAggregate, ScaledDatasetVariantsGroupSeparately)
+{
+    // Two scales of the same named stand-in share a generated name
+    // ("AZ"); grouping and labels must still keep them apart.
+    Plan plan;
+    plan.kernels = {Kernel::bfs};
+    plan.datasets = {{"amazon", 5}, {"amazon", 6}};
+    plan.grids = {{1, 1}, {2, 2}};
+    plan.seed = 3;
+
+    const RunResult result = run(plan, 2);
+    ASSERT_TRUE(result.ok) << result.error;
+    const AggregateResult agg =
+        aggregate(result.reports, result.baseline);
+    ASSERT_TRUE(agg.ok) << agg.error;
+    ASSERT_EQ(agg.rows.size(), 4u);
+    // Each scale's 1x1 row is its own baseline with speedup 1.0.
+    for (const Row& row : agg.rows) {
+        if (row.report.options.machine.width == 1) {
+            EXPECT_TRUE(row.isBaseline);
+            EXPECT_DOUBLE_EQ(row.speedup, 1.0);
+        }
+    }
+    const std::string jsonl = toJsonl(agg.rows);
+    EXPECT_NE(jsonl.find("\"dataset\":\"AZ@5\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"dataset\":\"AZ@6\""), std::string::npos);
+}
+
+TEST(RunAggregate, MissingBaselineErrorsOrSkips)
+{
+    // Drop the baseline rows so every group misses the 2x2 shape.
+    const RunResult result = run(miniPlan(), 2);
+    ASSERT_TRUE(result.ok) << result.error;
+    std::vector<cli::Report> no_baseline;
+    for (const cli::Report& report : result.reports)
+        if (report.options.machine.width != 2)
+            no_baseline.push_back(report);
+
+    const AggregateResult strict =
+        aggregate(no_baseline, result.baseline,
+                  MissingBaseline::error);
+    EXPECT_FALSE(strict.ok);
+    EXPECT_NE(strict.error.find("2x2"), std::string::npos);
+    EXPECT_EQ(strict.error.find('\n'), std::string::npos);
+
+    const AggregateResult skip = aggregate(
+        no_baseline, result.baseline, MissingBaseline::skip);
+    ASSERT_TRUE(skip.ok) << skip.error;
+    ASSERT_EQ(skip.rows.size(), no_baseline.size());
+    for (const Row& row : skip.rows)
+        EXPECT_FALSE(row.hasBaseline);
+    const Table table = toTable(skip.rows);
+    EXPECT_NE(table.toText().find('-'), std::string::npos);
+    EXPECT_NE(toJsonl(skip.rows).find("\"speedup\":null"),
+              std::string::npos);
+}
+
+/** Structural JSON check: balanced braces and quotes. */
+void
+expectWellFormedJson(const std::string& json)
+{
+    int depth = 0;
+    bool in_string = false;
+    for (const char c : json) {
+        if (in_string) {
+            in_string = c != '"';
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{')
+            ++depth;
+        else if (c == '}') {
+            --depth;
+            ASSERT_GE(depth, 0);
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+TEST(Renderers, JsonlHasOneObjectPerRowAndSharedSchema)
+{
+    const RunResult result = run(miniPlan(), 2);
+    ASSERT_TRUE(result.ok) << result.error;
+    const AggregateResult agg =
+        aggregate(result.reports, result.baseline);
+    ASSERT_TRUE(agg.ok) << agg.error;
+
+    const std::string jsonl = toJsonl(agg.rows);
+    std::istringstream lines(jsonl);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        expectWellFormedJson(line);
+        for (const char* key :
+             {"\"kernel\":", "\"tiles\":", "\"cycles\":",
+              "\"speedup\":", "\"parallel_efficiency\":",
+              "\"energy_per_edge_j\":"})
+            EXPECT_NE(line.find(key), std::string::npos) << key;
+    }
+    EXPECT_EQ(count, agg.rows.size());
+
+    const Table table = toTable(agg.rows);
+    EXPECT_EQ(table.numRows(), agg.rows.size());
+    const std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("speedup"), std::string::npos);
+    EXPECT_NE(csv.find("energy/edge_J"), std::string::npos);
+}
+
+int
+runSweep(std::vector<const char*> args, std::string& out,
+         std::string& err)
+{
+    args.insert(args.begin(), "sweep");
+    std::ostringstream out_stream;
+    std::ostringstream err_stream;
+    const int code =
+        sweepMain(static_cast<int>(args.size()), args.data(),
+                  out_stream, err_stream);
+    out = out_stream.str();
+    err = err_stream.str();
+    return code;
+}
+
+TEST(SweepMain, EndToEndWithCsvOutput)
+{
+    const std::string csv_path =
+        testing::TempDir() + "sweep_test_out.csv";
+    std::string out;
+    std::string err;
+    const int code = runSweep(
+        {"--kernel", "bfs,wcc", "--grid-size", "2x2,4x4", "--scale",
+         "8", "--threads", "2", "--csv", csv_path.c_str()},
+        out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_NE(out.find("speedup"), std::string::npos);
+
+    std::ifstream csv(csv_path);
+    ASSERT_TRUE(csv.good());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(csv, line))
+        ++lines;
+    EXPECT_EQ(lines, 1u + 4u); // header + one row per point
+    std::remove(csv_path.c_str());
+}
+
+TEST(SweepMain, JsonModePrintsJsonl)
+{
+    std::string out;
+    std::string err;
+    const int code =
+        runSweep({"--kernel", "bfs", "--grid-size", "2x2", "--scale",
+                  "8", "--threads", "1", "--json"},
+                 out, err);
+    EXPECT_EQ(code, 0) << err;
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.front(), '{');
+    expectWellFormedJson(out);
+}
+
+TEST(SweepMain, RejectsBadThreadsWithRangeError)
+{
+    for (const char* bad : {"0", "257", "abc", "-4"}) {
+        std::string out;
+        std::string err;
+        const int code =
+            runSweep({"--threads", bad, "--kernel", "bfs"}, out, err);
+        EXPECT_EQ(code, 2) << bad;
+        EXPECT_NE(err.find("--threads"), std::string::npos) << bad;
+        EXPECT_TRUE(out.empty()) << bad;
+    }
+}
+
+TEST(SweepMain, RejectsBadGridAndUnknownDataset)
+{
+    std::string out;
+    std::string err;
+    EXPECT_EQ(runSweep({"--grid-size", "4by4"}, out, err), 2);
+    EXPECT_NE(err.find("grid"), std::string::npos);
+
+    EXPECT_EQ(runSweep({"--dataset", "orkut", "--grid-size", "2x2"},
+                       out, err),
+              2);
+    EXPECT_NE(err.find("orkut"), std::string::npos);
+
+    EXPECT_EQ(runSweep({"--grid-size", "2x2", "--baseline", "8x8",
+                        "--scale", "8"},
+                       out, err),
+              2);
+    EXPECT_NE(err.find("8x8"), std::string::npos);
+}
+
+TEST(SweepParse, RepeatedAxisFlagsAppendConsistently)
+{
+    const std::vector<const char*> args = {
+        "sweep",      "--topology", "mesh",     "--topology",
+        "torus",      "--kernel",   "bfs",      "--kernel",
+        "wcc",        "--policy",   "rr",       "--policy",
+        "ta"};
+    const SweepParseResult parsed =
+        parseSweepArgs(static_cast<int>(args.size()), args.data());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const Plan& plan = parsed.options.plan;
+    EXPECT_EQ(plan.topologies,
+              (std::vector<NocTopology>{NocTopology::mesh,
+                                        NocTopology::torus}));
+    EXPECT_EQ(plan.kernels,
+              (std::vector<Kernel>{Kernel::bfs, Kernel::wcc}));
+    EXPECT_EQ(plan.policies,
+              (std::vector<SchedPolicy>{SchedPolicy::roundRobin,
+                                        SchedPolicy::trafficAware}));
+}
+
+TEST(SweepMain, ListDatasetsMentionsTheCatalog)
+{
+    std::string out;
+    std::string err;
+    const int code = runSweep({"--list-datasets"}, out, err);
+    EXPECT_EQ(code, 0) << err;
+    for (const char* name :
+         {"amazon", "wiki", "livejournal", "rmatN"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(SweepMain, HelpCoversTheNewFlags)
+{
+    std::string out;
+    std::string err;
+    const int code = runSweep({"--help"}, out, err);
+    EXPECT_EQ(code, 0);
+    for (const char* flag :
+         {"--threads", "--list-datasets", "--grid-size", "--baseline",
+          "--barrier"})
+        EXPECT_NE(out.find(flag), std::string::npos) << flag;
+}
+
+} // namespace
+} // namespace sweep
+} // namespace dalorex
