@@ -39,13 +39,13 @@ main(int argc, char** argv)
                  "async cyc", "async speedup", "sync edges",
                  "async edges", "work ratio"});
 
-    for (const Kernel kernel :
-         {Kernel::bfs, Kernel::sssp, Kernel::wcc}) {
+    for (const char* kernel_name : {"bfs", "sssp", "wcc"}) {
+        const KernelInfo* kernel = kernelOrDie(kernel_name);
         for (const unsigned scale : scales) {
             const Dataset ds = makeDatasetAt("amazon", scale,
                                              opts.seed);
             const KernelSetup setup =
-                makeKernelSetup(kernel, ds.graph, opts.seed);
+                makeKernelSetup(*kernel, ds.graph, opts.seed);
 
             MachineConfig sync_config =
                 ablationConfig(AblationStep::dalorexFull, 16, 16);
@@ -57,7 +57,7 @@ main(int argc, char** argv)
             const DalorexRun async = runDalorex(setup, async_config);
 
             table.addRow(
-                {toString(kernel), std::to_string(scale),
+                {kernel->display, std::to_string(scale),
                  std::to_string(ds.graph.numVertices / 256),
                  std::to_string(sync.stats.cycles),
                  std::to_string(async.stats.cycles),

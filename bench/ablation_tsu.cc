@@ -46,15 +46,15 @@ main(int argc, char** argv)
     Table table({"kernel", "round-robin cyc", "traffic-aware cyc",
                  "speedup"});
     std::vector<double> gains;
-    for (const Kernel kernel :
-         {Kernel::bfs, Kernel::sssp, Kernel::wcc}) {
+    for (const char* kernel_name : {"bfs", "sssp", "wcc"}) {
+        const KernelInfo* kernel = kernelOrDie(kernel_name);
         const KernelSetup setup =
-            makeKernelSetup(kernel, ds.graph, opts.seed);
+            makeKernelSetup(*kernel, ds.graph, opts.seed);
         const Cycle rr =
             runWith(setup, SchedPolicy::roundRobin, 0.75, 0.25);
         const Cycle ta =
             runWith(setup, SchedPolicy::trafficAware, 0.75, 0.25);
-        table.addRow({toString(kernel), std::to_string(rr),
+        table.addRow({kernel->display, std::to_string(rr),
                       std::to_string(ta),
                       Table::fmt(double(rr) / double(ta), 3)});
         gains.push_back(double(rr) / double(ta));
@@ -66,7 +66,7 @@ main(int argc, char** argv)
                 "(IQ-high, OQ-low) pair\n\n");
     Table threshold_table({"iqHigh\\oqLow", "0.125", "0.25", "0.5"});
     const KernelSetup setup =
-        makeKernelSetup(Kernel::sssp, ds.graph, opts.seed);
+        makeKernelSetup("sssp", ds.graph, opts.seed);
     for (const double iq_high : {0.5, 0.75, 0.9}) {
         std::vector<std::string> row = {Table::fmt(iq_high, 2)};
         for (const double oq_low : {0.125, 0.25, 0.5}) {

@@ -159,10 +159,8 @@ runDalorex(const KernelSetup& setup, const MachineConfig& config)
                     setup.graph.numEdges);
     DalorexRun run;
     run.stats = machine.run(*app);
-    if (setup.kernel == Kernel::pagerank)
-        validateFloats(setup, app->gatherFloats(machine));
-    else
-        validateWords(setup, app->gatherValues(machine));
+    const ValidationResult valid = validateRun(setup, *app, machine);
+    fatal_if(!valid, valid.detail);
     run.energy = dalorexEnergy(run.stats, config);
     run.seconds = runSeconds(run.stats);
     run.joules = run.energy.totalJ();
@@ -176,10 +174,11 @@ runTesseractBaseline(const KernelSetup& setup, bool large_cache)
     config.largeCache = large_cache;
     BaselineRun run;
     run.result = baseline::runTesseract(setup, config);
-    if (setup.kernel == Kernel::pagerank)
-        validateFloats(setup, run.result.floatValues);
-    else
-        validateWords(setup, run.result.values);
+    const ValidationResult valid =
+        setup.floatResult()
+            ? validateFloats(setup, run.result.floatValues)
+            : validateWords(setup, run.result.values);
+    fatal_if(!valid, valid.detail);
     run.seconds =
         static_cast<double>(run.result.cycles) / TechParams{}.freqHz;
     run.joules = run.result.energyJ(config);

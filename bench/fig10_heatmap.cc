@@ -74,7 +74,7 @@ main(int argc, char** argv)
     const Dataset ds =
         makeDataset(opts.full ? "rmat18" : "rmat16", opts.seed);
     const KernelSetup setup =
-        makeKernelSetup(Kernel::sssp, ds.graph, opts.seed);
+        makeKernelSetup("sssp", ds.graph, opts.seed);
     const std::uint32_t side = 16;
 
     std::printf("Fig. 10: PU and router utilization heatmaps, SSSP "

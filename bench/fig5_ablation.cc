@@ -51,7 +51,7 @@ main(int argc, char** argv)
 {
     const BenchOptions opts = BenchOptions::parse(argc, argv);
     const std::vector<Dataset> datasets = figDatasets(opts);
-    const std::vector<Kernel> kernels = fig5Kernels();
+    const std::vector<const KernelInfo*> kernels = fig5Kernels();
 
     std::printf("Fig. 5: improvement over Tesseract, 256 cores "
                 "(%s scale)\n\n",
@@ -67,13 +67,13 @@ main(int argc, char** argv)
     std::map<AblationStep, std::vector<double>> perf_gains;
     std::map<AblationStep, std::vector<double>> energy_gains;
 
-    for (const Kernel kernel : kernels) {
+    for (const KernelInfo* kernel : kernels) {
         Ladder ladder;
         for (const Dataset& ds : datasets) {
             std::fprintf(stderr, "[fig5] %s on %s...\n",
-                         toString(kernel), ds.name.c_str());
+                         kernel->display.c_str(), ds.name.c_str());
             KernelSetup setup =
-                makeKernelSetup(kernel, ds.graph, opts.seed);
+                makeKernelSetup(*kernel, ds.graph, opts.seed);
             setup.iterations = 5; // PageRank epochs (bench budget)
             // HMC baseline and its large-cache variant.
             const BaselineRun base =
@@ -116,18 +116,18 @@ main(int argc, char** argv)
 
         std::printf("== %s: performance improvement over Tesseract "
                     "(higher is better) ==\n",
-                    toString(kernel));
+                    kernel->display.c_str());
         perf.print();
         sweep::writeCsvIfEnabled(
             opts.csvDir, perf,
-            std::string("fig5_perf_") + toString(kernel));
+            "fig5_perf_" + kernel->name);
         std::printf("\n== %s: energy improvement over Tesseract "
                     "(higher is better) ==\n",
-                    toString(kernel));
+                    kernel->display.c_str());
         energy.print();
         sweep::writeCsvIfEnabled(
             opts.csvDir, energy,
-            std::string("fig5_energy_") + toString(kernel));
+            "fig5_energy_" + kernel->name);
         std::printf("\n");
     }
 

@@ -55,7 +55,7 @@ main(int argc, char** argv)
         const std::uint32_t vertices = 1u << scale;
 
         sweep::Plan plan;
-        plan.kernels = {Kernel::bfs};
+        plan.kernels = {kernelOrDie("bfs")};
         plan.datasets = {{name, 0}};
         plan.seed = opts.seed;
         plan.validate = true; // as the old loop: every run checked
@@ -80,8 +80,10 @@ main(int argc, char** argv)
             const sweep::RunResult run =
                 sweep::run(*p, opts.workerThreads());
             fatal_if(!run.ok, "fig6 sweep: ", run.error);
-            reports.insert(reports.end(), run.reports.begin(),
-                           run.reports.end());
+            fatal_if(!run.allRowsOk(), "fig6 sweep: ",
+                     run.rowErrors().front());
+            const std::vector<cli::Report> ok = run.okReports();
+            reports.insert(reports.end(), ok.begin(), ok.end());
         }
     }
 

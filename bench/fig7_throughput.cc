@@ -37,7 +37,7 @@ main(int argc, char** argv)
                 name.c_str(), opts.full ? "full" : "quick");
 
     sweep::Plan plan;
-    plan.kernels = allKernels();
+    plan.kernels = paperKernels(); // the paper's five (tag-selected)
     plan.datasets = {{name, 0}};
     plan.grids = {{16, 16}, {32, 32}};
     plan.seed = opts.seed;
@@ -50,7 +50,9 @@ main(int argc, char** argv)
         const sweep::RunResult run =
             sweep::run(plan, opts.workerThreads());
         fatal_if(!run.ok, "fig7 sweep: ", run.error);
-        reports = run.reports;
+        fatal_if(!run.allRowsOk(), "fig7 sweep: ",
+                 run.rowErrors().front());
+        reports = run.okReports();
     }
     if (opts.full) {
         // The paper adds ruche channels above 32x32 (Sec. IV-A).
@@ -61,8 +63,10 @@ main(int argc, char** argv)
         const sweep::RunResult run =
             sweep::run(ruche, opts.workerThreads());
         fatal_if(!run.ok, "fig7 sweep: ", run.error);
-        reports.insert(reports.end(), run.reports.begin(),
-                       run.reports.end());
+        fatal_if(!run.allRowsOk(), "fig7 sweep: ",
+                 run.rowErrors().front());
+        const std::vector<cli::Report> ok = run.okReports();
+        reports.insert(reports.end(), ok.begin(), ok.end());
     }
 
     const sweep::AggregateResult agg = sweep::aggregate(

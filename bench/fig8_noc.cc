@@ -59,10 +59,10 @@ main(int argc, char** argv)
     Table table({"kernel", "dataset", "tiles", "mesh cyc",
                  "torus x", "torus-ruche x"});
 
-    for (const Kernel kernel : allKernels()) {
+    for (const KernelInfo* kernel : paperKernels()) {
         auto run_row = [&](const Dataset& ds, std::uint32_t side) {
             KernelSetup setup =
-                makeKernelSetup(kernel, ds.graph, opts.seed);
+                makeKernelSetup(*kernel, ds.graph, opts.seed);
             setup.iterations = 5;
             const std::uint32_t ruche = side >= 32 ? 4 : 2;
             const double mesh =
@@ -71,7 +71,7 @@ main(int argc, char** argv)
                 runCycles(setup, side, NocTopology::torus, 0);
             const double torus_ruche = runCycles(
                 setup, side, NocTopology::torusRuche, ruche);
-            table.addRow({toString(kernel), ds.name,
+            table.addRow({kernel->display, ds.name,
                           std::to_string(side * side),
                           Table::fmt(mesh, 0),
                           Table::fmt(mesh / torus, 2),

@@ -35,7 +35,7 @@ main(int argc, char** argv)
 
     // Fig. 9 uses WK, LJ, R22 (no AZ) on 16x16...
     sweep::Plan plan;
-    plan.kernels = allKernels();
+    plan.kernels = paperKernels(); // the paper's five (tag-selected)
     plan.datasets = {{"wiki", opts.full ? 0 : defaultQuickScale("wiki")},
                      {"livejournal",
                       opts.full ? 0 : defaultQuickScale("livejournal")},
@@ -61,8 +61,10 @@ main(int argc, char** argv)
         const sweep::RunResult run =
             sweep::run(*p, opts.workerThreads());
         fatal_if(!run.ok, "fig9 sweep: ", run.error);
-        reports.insert(reports.end(), run.reports.begin(),
-                       run.reports.end());
+        fatal_if(!run.allRowsOk(), "fig9 sweep: ",
+                 run.rowErrors().front());
+        const std::vector<cli::Report> ok = run.okReports();
+        reports.insert(reports.end(), ok.begin(), ok.end());
     }
 
     // Every group is its own baseline grid; no cross-grid speedup.

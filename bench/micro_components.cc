@@ -138,7 +138,7 @@ BM_EndToEndBfs(benchmark::State& state)
     params.scale = 10;
     params.edgeFactor = 8;
     const Csr graph = rmatGraph(params);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     for (auto _ : state) {
         auto app = setup.makeApp();
         MachineConfig config;
@@ -161,7 +161,7 @@ BM_Oqt2Sizing(benchmark::State& state)
     params.scale = 11;
     params.edgeFactor = 8;
     const Csr graph = rmatGraph(params);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     const auto oqt2 = static_cast<std::uint32_t>(state.range(0));
     Cycle cycles = 0;
     for (auto _ : state) {

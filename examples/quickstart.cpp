@@ -35,7 +35,7 @@ main()
                 graph.numEdges);
 
     // 2. BFS from the first connected vertex.
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
 
     // 3. An 8x8 Dalorex grid with the paper's defaults: torus NoC,

@@ -1,6 +1,8 @@
 #include "apps/bfs.hh"
 
+#include "apps/kernels.hh"
 #include "common/logging.hh"
+#include "graph/reference.hh"
 
 namespace dalorex
 {
@@ -35,5 +37,33 @@ BfsApp::startEpoch(Machine& machine)
 {
     return seedFrontierBlocks(machine);
 }
+
+namespace
+{
+
+KernelInfo
+bfsKernelInfo()
+{
+    KernelInfo info;
+    info.name = "bfs";
+    info.display = "BFS";
+    info.summary = "breadth-first search: hop count from a root "
+                   "vertex (barrierless min-update)";
+    info.tags = {"fig5", "paper"};
+    info.order = 10;
+    info.traits.needsRoot = true;
+    info.traits.tesseract = TesseractModel::bfs;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<BfsApp>(setup.graph, setup.root);
+    };
+    info.referenceWords = [](const KernelSetup& setup) {
+        return referenceBfs(setup.graph, setup.root);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(bfsKernelInfo)
 
 } // namespace dalorex

@@ -82,7 +82,7 @@ GraphAppBase::configure(Machine& machine)
     t1.paramWords = 1;
     t1.preload = false; // T1 peeks and may keep the vertex (Listing 1)
     t1.iqCapacity = sizing_.iq1;
-    t1.outChannel = kCq1;
+    t1.outChannel = t1OutChannel();
     t1.maxOutMsgs = 0; // self-throttling on CQ1.full
     t1.fn = set.t1;
     machine.addTask(std::move(t1));

@@ -55,6 +55,12 @@ class GraphAppBase : public App
   protected:
     /** The kernel's T1..T4 bodies. */
     virtual KernelTaskSet tasks() const = 0;
+    /**
+     * Channel T1 writes: CQ1 (edge-encoded, feeding T2) for the
+     * edge-walking kernels; scatter-reduce kernels that emit one
+     * vertex-keyed update per explored vertex override this to CQ2.
+     */
+    virtual ChannelId t1OutChannel() const { return kCq1; }
     /** Whether edge values are stored (SSSP weights, SPMV values). */
     virtual bool usesWeights() const = 0;
     /** Whether the aux vertex array exists (PR contribution, x). */

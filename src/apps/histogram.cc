@@ -1,0 +1,125 @@
+#include "apps/histogram.hh"
+
+#include <algorithm>
+
+#include "apps/kernels.hh"
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+namespace
+{
+
+/**
+ * T1 for the histogram: pop one vertex from IQ1, read its degree from
+ * the local row bounds, and scatter one +1 to the owner of bucket
+ * min(degree, V-1). Self-throttles on CQ2 like the generic T1 does on
+ * CQ1, keeping the vertex queued until a message slot frees up.
+ */
+void
+histogramScatterBody(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<GraphTileState>(tile);
+    if (ctx.cqFree(kCq2) == 0)
+        return; // retry when the channel drains
+
+    const Word local_v = ctx.peek()[0];
+    ctx.read();
+    const Word deg = st.rowEnd[local_v] - st.rowBegin[local_v];
+    ctx.read(2);
+    const Word cap =
+        static_cast<Word>(machine.partition().numVertices() - 1);
+    const Word bucket = std::min(deg, cap);
+    ctx.charge(2); // degree subtract + bucket clamp
+    ctx.send(kCq2, bucket, {1});
+    // One scattered update per vertex is this kernel's unit of
+    // processed work (RunStats::edgesProcessed is app-counted, and
+    // throughput/energy-per-edge read it as "work items").
+    ctx.countEdges(1);
+    ctx.pop();
+}
+
+/** T2 is structurally present but fed by nothing: T1 writes CQ2. */
+void
+histogramUnusedBody(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    (void)machine;
+    (void)tile;
+    (void)ctx;
+    panic("histogram T2 invoked: no task writes CQ1");
+}
+
+} // namespace
+
+DegreeHistogramApp::DegreeHistogramApp(const Csr& graph)
+    : GraphAppBase(graph)
+{
+}
+
+KernelTaskSet
+DegreeHistogramApp::tasks() const
+{
+    // T3 (integer accumulate at the bucket's owner) and T4 (frontier
+    // drain) are the generic bodies; T1 is the custom scatter.
+    KernelTaskSet set = spmvTasks();
+    set.t1 = &histogramScatterBody;
+    set.t2 = &histogramUnusedBody;
+    return set;
+}
+
+void
+DegreeHistogramApp::initTile(Machine& machine, TileId tile,
+                             GraphTileState& st)
+{
+    (void)machine;
+    (void)tile;
+    for (std::uint32_t l = 0; l < st.owned; ++l)
+        st.value[l] = 0; // bucket counters
+}
+
+void
+DegreeHistogramApp::start(Machine& machine)
+{
+    // Every vertex contributes exactly once: one full frontier pass.
+    seedFullFrontier(machine);
+}
+
+std::vector<Word>
+referenceDegreeHistogram(const Csr& graph)
+{
+    std::vector<Word> hist(graph.numVertices, 0);
+    const Word cap = static_cast<Word>(graph.numVertices - 1);
+    for (VertexId v = 0; v < graph.numVertices; ++v)
+        hist[std::min(static_cast<Word>(graph.degree(v)), cap)] += 1;
+    return hist;
+}
+
+namespace
+{
+
+KernelInfo
+histogramKernelInfo()
+{
+    KernelInfo info;
+    info.name = "histogram";
+    info.display = "DegHist";
+    info.aliases = {"degree-histogram", "deghist"};
+    info.summary = "degree histogram: one-pass barrierless "
+                   "scatter-reduce of per-vertex degree counts";
+    info.tags = {"extra"};
+    info.order = 70;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<DegreeHistogramApp>(setup.graph);
+    };
+    info.referenceWords = [](const KernelSetup& setup) {
+        return referenceDegreeHistogram(setup.graph);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(histogramKernelInfo)
+
+} // namespace dalorex

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Degree histogram in the Dalorex task model: a barrierless
+ * scatter-reduce registered through the kernel registry with no
+ * core-layer edits.
+ *
+ * Every vertex is explored exactly once (one full frontier pass, like
+ * SPMV); instead of walking its edges, T1 reads the vertex's degree
+ * from its locally owned row bounds and scatters a single +1 update to
+ * the tile owning histogram bucket `min(degree, V-1)`. T3 accumulates
+ * the counts into the distributed value array, so the gathered result
+ * is value[d] = number of vertices with (capped) out-degree d.
+ */
+
+#ifndef DALOREX_APPS_HISTOGRAM_HH
+#define DALOREX_APPS_HISTOGRAM_HH
+
+#include "apps/graph_app.hh"
+
+namespace dalorex
+{
+
+/** Barrierless degree-histogram scatter-reduce. */
+class DegreeHistogramApp : public GraphAppBase
+{
+  public:
+    explicit DegreeHistogramApp(const Csr& graph);
+
+    const char* name() const override { return "DegHist"; }
+    void start(Machine& machine) override;
+
+  protected:
+    KernelTaskSet tasks() const override;
+    /** T1 scatters vertex-keyed bucket updates directly. */
+    ChannelId t1OutChannel() const override { return kCq2; }
+    bool usesWeights() const override { return false; }
+    void initTile(Machine& machine, TileId tile,
+                  GraphTileState& st) override;
+};
+
+/** Sequential reference: hist[min(degree(v), V-1)] over all v. */
+std::vector<Word> referenceDegreeHistogram(const Csr& graph);
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_HISTOGRAM_HH

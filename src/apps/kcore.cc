@@ -1,0 +1,205 @@
+#include "apps/kcore.hh"
+
+#include <algorithm>
+
+#include "apps/kernels.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+namespace
+{
+
+/**
+ * T3 for k-core: one decrement of the receiving vertex's residual
+ * degree per edge from a peeled neighbor. Decrements addressed to
+ * already-peeled vertices are dropped (their coreness is sealed).
+ * Unlike the min-update kernels nothing re-enters the frontier here —
+ * peeling decisions are made by the host at the epoch boundary.
+ */
+void
+kcoreApplyBody(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<GraphTileState>(tile);
+    const Word v = ctx.param(0);
+
+    const Word alive = st.acc[v];
+    ctx.read();
+    ctx.charge(1);
+    if (alive == 0)
+        return;
+    st.aux[v] -= 1;
+    ctx.read();
+    ctx.write();
+    ctx.charge(1);
+}
+
+} // namespace
+
+KCoreApp::KCoreApp(const Csr& graph) : GraphAppBase(graph) {}
+
+KernelTaskSet
+KCoreApp::tasks() const
+{
+    // T1 (explore a peeled vertex's edge ranges) and T2 (one update
+    // per edge) are the generic label-forwarding bodies; only the
+    // apply step differs.
+    KernelTaskSet set = wccTasks();
+    set.t3 = &kcoreApplyBody;
+    return set;
+}
+
+void
+KCoreApp::initTile(Machine& machine, TileId tile, GraphTileState& st)
+{
+    (void)machine;
+    (void)tile;
+    for (std::uint32_t l = 0; l < st.owned; ++l) {
+        st.value[l] = 0;                            // coreness
+        st.aux[l] = st.rowEnd[l] - st.rowBegin[l];  // residual degree
+        st.acc[l] = 1;                              // alive
+    }
+}
+
+void
+KCoreApp::start(Machine& machine)
+{
+    peelAndSeed(machine);
+}
+
+bool
+KCoreApp::startEpoch(Machine& machine)
+{
+    return peelAndSeed(machine);
+}
+
+bool
+KCoreApp::peelAndSeed(Machine& machine)
+{
+    for (;;) {
+        std::uint64_t alive = 0;
+        bool peeled = false;
+        for (TileId t = 0; t < machine.numTiles(); ++t) {
+            auto& st = machine.state<GraphTileState>(t);
+            std::uint32_t peeled_here = 0;
+            for (std::uint32_t l = 0; l < st.owned; ++l) {
+                if (st.acc[l] == 0)
+                    continue;
+                if (st.aux[l] > level_) {
+                    ++alive;
+                    continue;
+                }
+                // Peel: coreness is the current level; the vertex
+                // becomes the next epoch's frontier so T1 streams its
+                // edges exactly once.
+                st.value[l] = level_;
+                st.acc[l] = 0;
+                const Word blk = l >> 5;
+                if (st.frontier[blk] == 0)
+                    ++st.blocksInFrontier;
+                st.frontier[blk] = maskInBit(st.frontier[blk], l & 31);
+                ++peeled_here;
+                peeled = true;
+            }
+            // The host-triggered peel scan reads the alive flag and
+            // residual degree of every owned vertex; peeled vertices
+            // add a coreness/flag/bitmap write burst.
+            machine.hostCharge(t, 2 * st.owned + 2 * peeled_here,
+                               2 * st.owned, 3 * peeled_here);
+        }
+
+        if (peeled) {
+            for (TileId t = 0; t < machine.numTiles(); ++t) {
+                auto& st = machine.state<GraphTileState>(t);
+                if (st.blocksInFrontier == 0)
+                    continue;
+                const auto blocks =
+                    static_cast<std::uint32_t>(st.frontier.size());
+                for (std::uint32_t b = 0; b < blocks; ++b) {
+                    if (st.frontier[b] != 0)
+                        machine.seed(t, kT4, {b});
+                }
+            }
+            return true;
+        }
+        if (alive == 0)
+            return false; // every vertex peeled: done
+        ++level_; // nobody at this level: raise k and rescan
+    }
+}
+
+std::vector<Word>
+referenceKCore(const Csr& graph)
+{
+    const VertexId n = graph.numVertices;
+    std::vector<Word> core(n, 0);
+    std::vector<Word> deg(n, 0);
+    std::vector<std::uint8_t> alive(n, 1);
+    for (VertexId v = 0; v < n; ++v)
+        deg[v] = static_cast<Word>(graph.degree(v));
+
+    VertexId remaining = n;
+    Word level = 0;
+    std::vector<VertexId> peel;
+    while (remaining > 0) {
+        peel.clear();
+        for (VertexId v = 0; v < n; ++v) {
+            if (alive[v] && deg[v] <= level)
+                peel.push_back(v);
+        }
+        if (peel.empty()) {
+            ++level;
+            continue;
+        }
+        // Same schedule as the task program: the peel set is fixed
+        // before any decrement applies, and decrements to vertices
+        // peeled in the same round are dropped.
+        for (const VertexId v : peel) {
+            core[v] = level;
+            alive[v] = 0;
+        }
+        for (const VertexId v : peel) {
+            for (EdgeId e = graph.rowPtr[v]; e < graph.rowPtr[v + 1];
+                 ++e) {
+                const VertexId w = graph.colIdx[e];
+                if (alive[w])
+                    deg[w] -= 1;
+            }
+        }
+        remaining -= static_cast<VertexId>(peel.size());
+    }
+    return core;
+}
+
+namespace
+{
+
+KernelInfo
+kcoreKernelInfo()
+{
+    KernelInfo info;
+    info.name = "kcore";
+    info.display = "KCore";
+    info.aliases = {"k-core", "coreness"};
+    info.summary = "k-core decomposition: per-vertex coreness by "
+                   "level-synchronous peeling (epoch barrier)";
+    info.tags = {"extra"};
+    info.order = 60;
+    info.traits.symmetrize = true;
+    info.traits.needsBarrier = true;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<KCoreApp>(setup.graph);
+    };
+    info.referenceWords = [](const KernelSetup& setup) {
+        return referenceKCore(setup.graph);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(kcoreKernelInfo)
+
+} // namespace dalorex

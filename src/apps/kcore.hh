@@ -1,0 +1,64 @@
+/**
+ * @file
+ * k-core decomposition in the Dalorex task model: per-vertex coreness
+ * by level-synchronous peeling (ParK/PKC-style), registered through
+ * the kernel registry with no core-layer edits.
+ *
+ * Peeling is inherently epoch-synchronized, so it exercises the same
+ * host-triggered barrier path as PageRank: at every idle signal the
+ * host scans the owned vertices, peels those whose residual degree
+ * dropped to the current level (their coreness is that level), and
+ * seeds them as the next epoch's frontier; the chip then streams their
+ * edges, decrementing the residual degree of each still-alive
+ * neighbor. When a level peels nobody, the level rises.
+ */
+
+#ifndef DALOREX_APPS_KCORE_HH
+#define DALOREX_APPS_KCORE_HH
+
+#include "apps/graph_app.hh"
+
+namespace dalorex
+{
+
+/** k-core peeling: value = coreness, aux = residual degree,
+ *  acc = alive flag. Requires a symmetrized graph. */
+class KCoreApp : public GraphAppBase
+{
+  public:
+    explicit KCoreApp(const Csr& graph);
+
+    /** Peel level reached (after run: the graph's degeneracy). */
+    Word degeneracy() const { return level_; }
+
+    const char* name() const override { return "KCore"; }
+    bool needsBarrier() const override { return true; }
+    void start(Machine& machine) override;
+    bool startEpoch(Machine& machine) override;
+
+  protected:
+    KernelTaskSet tasks() const override;
+    bool usesWeights() const override { return false; }
+    bool usesAux() const override { return true; }
+    bool usesAcc() const override { return true; }
+    void initTile(Machine& machine, TileId tile,
+                  GraphTileState& st) override;
+
+  private:
+    /**
+     * Host scan at the idle signal: peel every alive vertex with
+     * residual degree <= level_ into the bitmap frontier, raising
+     * level_ past empty levels. Returns false when nothing is left
+     * alive (decomposition complete).
+     */
+    bool peelAndSeed(Machine& machine);
+
+    Word level_ = 0;
+};
+
+/** Sequential reference: coreness of every vertex (same peeling). */
+std::vector<Word> referenceKCore(const Csr& graph);
+
+} // namespace dalorex
+
+#endif // DALOREX_APPS_KCORE_HH

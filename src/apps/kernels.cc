@@ -2,48 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
-#include "apps/bfs.hh"
-#include "apps/pagerank.hh"
-#include "apps/spmv.hh"
-#include "apps/sssp.hh"
-#include "apps/wcc.hh"
+#include "apps/graph_app.hh"
 #include "common/logging.hh"
-#include "graph/reference.hh"
 
 namespace dalorex
 {
-
-const char*
-toString(Kernel kernel)
-{
-    switch (kernel) {
-      case Kernel::bfs:
-        return "BFS";
-      case Kernel::sssp:
-        return "SSSP";
-      case Kernel::wcc:
-        return "WCC";
-      case Kernel::pagerank:
-        return "PageRank";
-      case Kernel::spmv:
-        return "SPMV";
-    }
-    return "?";
-}
-
-std::vector<Kernel>
-allKernels()
-{
-    return {Kernel::bfs, Kernel::wcc, Kernel::pagerank, Kernel::sssp,
-            Kernel::spmv};
-}
-
-std::vector<Kernel>
-fig5Kernels()
-{
-    return {Kernel::bfs, Kernel::wcc, Kernel::pagerank, Kernel::sssp};
-}
 
 VertexId
 pickRoot(const Csr& graph)
@@ -56,104 +21,143 @@ pickRoot(const Csr& graph)
 }
 
 KernelSetup
-makeKernelSetup(Kernel kernel, const Csr& base, std::uint64_t seed)
+makeKernelSetup(const KernelInfo& kernel, const Csr& base,
+                std::uint64_t seed)
 {
     KernelSetup setup;
-    setup.kernel = kernel;
-    Rng rng(seed);
+    setup.kernel = &kernel;
+    setup.damping = kernel.defaults.damping;
+    setup.iterations = kernel.defaults.iterations;
 
-    switch (kernel) {
-      case Kernel::bfs:
-        setup.graph = base;
-        setup.root = pickRoot(setup.graph);
-        break;
-      case Kernel::sssp:
-        setup.graph = base;
-        addRandomWeights(setup.graph, rng, 1, 64);
-        setup.root = pickRoot(setup.graph);
-        break;
-      case Kernel::wcc:
-        setup.graph = symmetrize(base);
-        break;
-      case Kernel::pagerank:
-        setup.graph = base;
-        break;
-      case Kernel::spmv:
-        setup.graph = base;
-        addRandomWeights(setup.graph, rng, 1, 16);
+    const KernelTraits& traits = kernel.traits;
+    setup.graph = traits.symmetrize ? symmetrize(base) : base;
+
+    // One RNG stream in a fixed trait order (weights, then x) keeps
+    // adapted datasets bit-identical to the pre-registry factory.
+    Rng rng(seed);
+    if (traits.needsWeights)
+        addRandomWeights(setup.graph, rng, traits.weightMin,
+                         traits.weightMax);
+    if (traits.needsInputVector) {
         setup.x.resize(setup.graph.numVertices);
         for (auto& xi : setup.x)
             xi = static_cast<Word>(rng.range(0, 255));
-        break;
     }
+    if (traits.needsRoot)
+        setup.root = pickRoot(setup.graph);
     return setup;
+}
+
+KernelSetup
+makeKernelSetup(const std::string& kernel, const Csr& base,
+                std::uint64_t seed)
+{
+    return makeKernelSetup(*kernelOrDie(kernel), base, seed);
 }
 
 std::unique_ptr<GraphAppBase>
 KernelSetup::makeApp() const
 {
-    switch (kernel) {
-      case Kernel::bfs:
-        return std::make_unique<BfsApp>(graph, root);
-      case Kernel::sssp:
-        return std::make_unique<SsspApp>(graph, root);
-      case Kernel::wcc:
-        return std::make_unique<WccApp>(graph);
-      case Kernel::pagerank:
-        return std::make_unique<PageRankApp>(graph, damping,
-                                             iterations);
-      case Kernel::spmv:
-        return std::make_unique<SpmvApp>(graph, x);
-    }
-    panic("unreachable kernel");
+    panic_if(kernel == nullptr, "KernelSetup has no kernel");
+    return kernel->factory(*this);
 }
 
 std::vector<Word>
 KernelSetup::referenceWords() const
 {
-    switch (kernel) {
-      case Kernel::bfs:
-        return referenceBfs(graph, root);
-      case Kernel::sssp:
-        return referenceSssp(graph, root);
-      case Kernel::wcc:
-        return referenceWcc(graph);
-      case Kernel::spmv:
-        return referenceSpmv(graph, x);
-      case Kernel::pagerank:
-        panic("PageRank reference is float; use referenceFloats()");
-    }
-    panic("unreachable kernel");
+    panic_if(kernel == nullptr, "KernelSetup has no kernel");
+    panic_if(!kernel->referenceWords, kernel->display,
+             " has a float-valued reference; use referenceFloats()");
+    return kernel->referenceWords(*this);
 }
 
 std::vector<double>
 KernelSetup::referenceFloats() const
 {
-    panic_if(kernel != Kernel::pagerank,
-             "referenceFloats is PageRank-only");
-    return referencePageRank(graph, damping, iterations);
+    panic_if(kernel == nullptr, "KernelSetup has no kernel");
+    panic_if(!kernel->referenceFloats, kernel->display,
+             " has a word-valued reference; use referenceWords()");
+    return kernel->referenceFloats(*this);
 }
 
-void
-validateWords(const KernelSetup& setup, const std::vector<Word>& got)
+namespace
+{
+
+ValidationResult
+defaultValidateWords(const KernelSetup& setup,
+                     const std::vector<Word>& got)
 {
     const std::vector<Word> want = setup.referenceWords();
-    fatal_if(got != want, toString(setup.kernel),
-             " output does not match the sequential reference");
+    if (got.size() != want.size()) {
+        std::ostringstream what;
+        what << setup.kernel->display << " output has " << got.size()
+             << " values, reference has " << want.size();
+        return ValidationResult::fail(0, what.str());
+    }
+    for (std::size_t v = 0; v < got.size(); ++v) {
+        if (got[v] != want[v]) {
+            std::ostringstream what;
+            what << setup.kernel->display
+                 << " output does not match the sequential reference"
+                 << " at vertex " << v << ": got " << got[v]
+                 << ", want " << want[v];
+            return ValidationResult::fail(v, what.str());
+        }
+    }
+    return ValidationResult::pass();
 }
 
-void
+ValidationResult
+defaultValidateFloats(const KernelSetup& setup,
+                      const std::vector<double>& got)
+{
+    const std::vector<double> want = setup.referenceFloats();
+    if (got.size() != want.size()) {
+        std::ostringstream what;
+        what << setup.kernel->display << " output has " << got.size()
+             << " values, reference has " << want.size();
+        return ValidationResult::fail(0, what.str());
+    }
+    for (std::size_t v = 0; v < got.size(); ++v) {
+        const double tol = std::max(1e-9, 1e-3 * want[v]);
+        if (std::abs(got[v] - want[v]) > tol) {
+            std::ostringstream what;
+            what << setup.kernel->display << " mismatch at vertex "
+                 << v << ": " << got[v] << " vs " << want[v];
+            return ValidationResult::fail(v, what.str());
+        }
+    }
+    return ValidationResult::pass();
+}
+
+} // namespace
+
+ValidationResult
+validateWords(const KernelSetup& setup, const std::vector<Word>& got)
+{
+    panic_if(setup.kernel == nullptr, "KernelSetup has no kernel");
+    if (setup.kernel->validateWords)
+        return setup.kernel->validateWords(setup, got);
+    return defaultValidateWords(setup, got);
+}
+
+ValidationResult
 validateFloats(const KernelSetup& setup,
                const std::vector<double>& got)
 {
-    const std::vector<double> want = setup.referenceFloats();
-    fatal_if(got.size() != want.size(), "PageRank size mismatch");
-    for (std::size_t v = 0; v < got.size(); ++v) {
-        const double tol = std::max(1e-9, 1e-3 * want[v]);
-        fatal_if(std::abs(got[v] - want[v]) > tol,
-                 "PageRank mismatch at vertex ", v, ": ", got[v],
-                 " vs ", want[v]);
-    }
+    panic_if(setup.kernel == nullptr, "KernelSetup has no kernel");
+    if (setup.kernel->validateFloats)
+        return setup.kernel->validateFloats(setup, got);
+    return defaultValidateFloats(setup, got);
+}
+
+ValidationResult
+validateRun(const KernelSetup& setup, GraphAppBase& app,
+            Machine& machine)
+{
+    if (setup.floatResult())
+        return validateFloats(setup, app.gatherFloats(machine));
+    return validateWords(setup, app.gatherValues(machine));
 }
 
 } // namespace dalorex

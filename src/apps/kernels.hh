@@ -1,9 +1,14 @@
 /**
  * @file
- * Kernel setup factory: adapts a base dataset for each of the five
- * evaluated kernels (weights for SSSP/SPMV, symmetrization for WCC, an
- * input vector for SPMV), owns the adapted graph, builds the App, and
- * computes the sequential reference result for validation.
+ * Kernel setup: adapts a base dataset for a registered kernel, driven
+ * entirely by the kernel's declared traits (weights for SSSP/SPMV,
+ * symmetrization for WCC/k-core, an input vector for SPMV), owns the
+ * adapted graph, builds the App through the kernel's factory, and
+ * checks runs against the kernel's sequential reference.
+ *
+ * No per-kernel code lives here: kernels describe themselves via
+ * KernelInfo (apps/registry.hh) and this module interprets the
+ * description, so new kernels need no edits in this file.
  */
 
 #ifndef DALOREX_APPS_KERNELS_HH
@@ -13,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/registry.hh"
 #include "graph/csr.hh"
 #include "sim/app.hh"
 
@@ -20,69 +26,73 @@ namespace dalorex
 {
 
 class GraphAppBase;
-
-/** The five kernels of the paper's evaluation (Sec. IV). */
-enum class Kernel
-{
-    bfs,
-    sssp,
-    wcc,
-    pagerank,
-    spmv,
-};
-
-const char* toString(Kernel kernel);
-
-/** All five, in the paper's Fig. 7/8/9 order. */
-std::vector<Kernel> allKernels();
-
-/** The Fig. 5 subset (BFS, WCC, PageRank, SSSP). */
-std::vector<Kernel> fig5Kernels();
+class Machine;
 
 /** A kernel instance bound to its adapted dataset. */
 struct KernelSetup
 {
-    Kernel kernel;
+    const KernelInfo* kernel = nullptr;
     Csr graph;           //!< adapted copy (weights/symmetrized)
     std::vector<Word> x; //!< SPMV input vector (else empty)
     VertexId root = 0;   //!< BFS/SSSP source
-    double damping = 0.85;
-    unsigned iterations = 10; //!< PageRank epochs
+    double damping = 0.85;    //!< from kernel->defaults
+    unsigned iterations = 10; //!< synchronous epochs (PageRank)
+
+    /** Whether the result validates as floats (kernel trait). */
+    bool
+    floatResult() const
+    {
+        return kernel->traits.hasFloatResult;
+    }
 
     /** Build the App; the returned app references this->graph. */
     std::unique_ptr<GraphAppBase> makeApp() const;
 
     /** Sequential reference for integer-valued kernels. */
     std::vector<Word> referenceWords() const;
-    /** Sequential reference for PageRank. */
+    /** Sequential reference for float-valued kernels. */
     std::vector<double> referenceFloats() const;
 };
 
 /**
- * Adapt `base` for `kernel`:
- *  - BFS: as-is; root = first vertex with out-degree > 0;
- *  - SSSP: + uniform random weights in [1, 64];
- *  - WCC: symmetrized;
- *  - PageRank: as-is, damping 0.85, 10 iterations;
- *  - SPMV: + values in [1, 16], x in [0, 255].
+ * Adapt `base` for `kernel` per its declared traits:
+ *  - traits.symmetrize: undirected view (WCC, k-core);
+ *  - traits.needsWeights: + uniform random weights in
+ *    [weightMin, weightMax] (SSSP, SPMV);
+ *  - traits.needsInputVector: + x in [0, 255] (SPMV);
+ *  - traits.needsRoot: root = first vertex with out-degree > 0;
+ *  - defaults: damping/iterations copied from kernel->defaults.
  */
-KernelSetup makeKernelSetup(Kernel kernel, const Csr& base,
+KernelSetup makeKernelSetup(const KernelInfo& kernel, const Csr& base,
+                            std::uint64_t seed = 7);
+
+/** Same, looking the kernel up by name/alias (fatal() on unknown). */
+KernelSetup makeKernelSetup(const std::string& kernel, const Csr& base,
                             std::uint64_t seed = 7);
 
 /** First vertex with out-degree > 0 (deterministic search root). */
 VertexId pickRoot(const Csr& graph);
 
 /**
- * Validate a finished run's per-vertex words against the setup's
- * sequential reference; fatal() on mismatch. Shared by the CLI, the
- * sweep orchestrator and the figure benches.
+ * Check a finished run's per-vertex words against the setup's
+ * sequential reference (the kernel's validator; exact equality by
+ * default). Returns the mismatch as data instead of fatal()ing, so a
+ * failed scenario fails its own sweep row, not the whole process.
  */
-void validateWords(const KernelSetup& setup,
-                   const std::vector<Word>& got);
+ValidationResult validateWords(const KernelSetup& setup,
+                               const std::vector<Word>& got);
 
-/** Same for PageRank ranks (relative tolerance 1e-3). */
-void validateFloats(const KernelSetup& setup,
-                    const std::vector<double>& got);
+/** Same for float-valued kernels (1e-3 relative tolerance default). */
+ValidationResult validateFloats(const KernelSetup& setup,
+                                const std::vector<double>& got);
+
+/**
+ * Gather the app's result from `machine` (words or floats per the
+ * kernel's trait) and validate it. Shared by the CLI, the sweep
+ * orchestrator, the figure benches and the test matrices.
+ */
+ValidationResult validateRun(const KernelSetup& setup,
+                             GraphAppBase& app, Machine& machine);
 
 } // namespace dalorex
 

@@ -1,6 +1,8 @@
 #include "apps/pagerank.hh"
 
+#include "apps/kernels.hh"
 #include "common/logging.hh"
+#include "graph/reference.hh"
 
 namespace dalorex
 {
@@ -78,5 +80,41 @@ PageRankApp::startEpoch(Machine& machine)
     seedFullFrontier(machine);
     return true;
 }
+
+namespace
+{
+
+KernelInfo
+pagerankKernelInfo()
+{
+    KernelInfo info;
+    info.name = "pagerank";
+    info.display = "PageRank";
+    info.aliases = {"pr"};
+    info.summary = "push-style synchronous PageRank, damping 0.85, "
+                   "10 epochs (inherent per-epoch barrier)";
+    info.tags = {"fig5", "paper"};
+    info.order = 30;
+    info.traits.needsBarrier = true;
+    info.traits.hasFloatResult = true;
+    info.traits.tesseract = TesseractModel::pagerank;
+    info.defaults.damping = 0.85;
+    info.defaults.iterations = 10;
+    info.defaults.usesDamping = true;
+    info.defaults.usesIterations = true;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<PageRankApp>(
+            setup.graph, setup.damping, setup.iterations);
+    };
+    info.referenceFloats = [](const KernelSetup& setup) {
+        return referencePageRank(setup.graph, setup.damping,
+                                 setup.iterations);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(pagerankKernelInfo)
 
 } // namespace dalorex

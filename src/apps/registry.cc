@@ -1,0 +1,154 @@
+#include "apps/registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/text.hh"
+
+namespace dalorex
+{
+
+bool
+KernelInfo::hasTag(const std::string& tag) const
+{
+    return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+KernelRegistry&
+KernelRegistry::instance()
+{
+    // Construct-on-first-use: registrations run at static init from
+    // many translation units in no defined order.
+    static KernelRegistry registry;
+    return registry;
+}
+
+const KernelInfo*
+KernelRegistry::add(KernelInfo info)
+{
+    fatal_if(info.name.empty(), "kernel registration needs a name");
+    fatal_if(info.name != toLower(info.name), "kernel name must be "
+             "lowercase: ", info.name);
+    fatal_if(!info.factory, "kernel ", info.name, " needs a factory");
+    fatal_if(info.traits.hasFloatResult ? !info.referenceFloats
+                                        : !info.referenceWords,
+             "kernel ", info.name, " needs a sequential reference "
+             "matching its result type");
+    if (info.display.empty())
+        info.display = info.name;
+
+    for (const auto& existing : kernels_) {
+        auto taken = [&](const std::string& candidate) {
+            const std::string c = toLower(candidate);
+            if (c == existing->name)
+                return true;
+            for (const std::string& alias : existing->aliases)
+                if (c == toLower(alias))
+                    return true;
+            return false;
+        };
+        fatal_if(taken(info.name), "duplicate kernel name: ",
+                 info.name);
+        for (const std::string& alias : info.aliases)
+            fatal_if(taken(alias), "kernel ", info.name,
+                     " alias collides with ", existing->name, ": ",
+                     alias);
+    }
+
+    kernels_.push_back(std::make_unique<KernelInfo>(std::move(info)));
+    return kernels_.back().get();
+}
+
+const KernelInfo*
+KernelRegistry::find(const std::string& nameOrAlias) const
+{
+    const std::string key = toLower(nameOrAlias);
+    for (const auto& kernel : kernels_) {
+        if (kernel->name == key)
+            return kernel.get();
+        for (const std::string& alias : kernel->aliases)
+            if (toLower(alias) == key)
+                return kernel.get();
+    }
+    return nullptr;
+}
+
+std::vector<const KernelInfo*>
+KernelRegistry::all() const
+{
+    std::vector<const KernelInfo*> out;
+    out.reserve(kernels_.size());
+    for (const auto& kernel : kernels_)
+        out.push_back(kernel.get());
+    std::sort(out.begin(), out.end(),
+              [](const KernelInfo* a, const KernelInfo* b) {
+                  if (a->order != b->order)
+                      return a->order < b->order;
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::vector<const KernelInfo*>
+KernelRegistry::tagged(const std::string& tag) const
+{
+    std::vector<const KernelInfo*> out;
+    for (const KernelInfo* kernel : all())
+        if (kernel->hasTag(tag))
+            out.push_back(kernel);
+    return out;
+}
+
+std::string
+KernelRegistry::namesText(const std::string& sep) const
+{
+    std::string out;
+    for (const KernelInfo* kernel : all()) {
+        if (!out.empty())
+            out += sep;
+        out += kernel->name;
+    }
+    return out;
+}
+
+std::vector<const KernelInfo*>
+allKernels()
+{
+    return KernelRegistry::instance().all();
+}
+
+std::vector<const KernelInfo*>
+fig5Kernels()
+{
+    return KernelRegistry::instance().tagged("fig5");
+}
+
+std::vector<const KernelInfo*>
+paperKernels()
+{
+    return KernelRegistry::instance().tagged("paper");
+}
+
+const KernelInfo*
+kernelOrDie(const std::string& nameOrAlias)
+{
+    const KernelInfo* kernel =
+        KernelRegistry::instance().find(nameOrAlias);
+    fatal_if(kernel == nullptr, "unknown kernel: ", nameOrAlias, " (",
+             KernelRegistry::instance().namesText(), ")");
+    return kernel;
+}
+
+const KernelInfo*
+defaultKernel()
+{
+    const KernelInfo* bfs = KernelRegistry::instance().find("bfs");
+    if (bfs != nullptr)
+        return bfs;
+    const std::vector<const KernelInfo*> kernels = allKernels();
+    fatal_if(kernels.empty(), "no kernels registered (is the kernel "
+             "library linked into this binary?)");
+    return kernels.front();
+}
+
+} // namespace dalorex

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The kernel registry: the open, self-describing kernel library of the
+ * Dalorex programming model.
+ *
+ * "Application programmers would not program Dalorex directly.
+ * Instead, DSLs ... could invoke our kernel library" (Sec. III-B) —
+ * which makes the kernel set an API, not a hardcoded enum. Each kernel
+ * registers one KernelInfo describing everything its consumers need:
+ * CLI names and aliases, dataset-adaptation traits (weights,
+ * symmetrization, input vector), scheduling traits (inherent barrier,
+ * float-valued result), per-kernel default parameters (root, damping,
+ * iterations — Katana-plan style), figure-set tags, an App factory, a
+ * sequential-reference functor and a validator.
+ *
+ * The CLI parser, the sweep grid axes, the figure drivers and the test
+ * matrices all enumerate the registry instead of switching on an enum,
+ * so adding a kernel is one new file in src/apps/ (plus its CMake
+ * source-list line) — zero edits under src/cli/, src/sweep/ or
+ * src/sim/. See README.md "Adding a kernel".
+ */
+
+#ifndef DALOREX_APPS_REGISTRY_HH
+#define DALOREX_APPS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dalorex
+{
+
+class GraphAppBase;
+struct KernelSetup;
+
+/** Outcome of checking a run against the sequential reference. */
+struct ValidationResult
+{
+    bool ok = true;
+    /** Vertex index of the first divergence (when !ok). */
+    std::size_t firstMismatch = 0;
+    /** One-line diagnostic ("" when ok). */
+    std::string detail;
+
+    explicit operator bool() const { return ok; }
+
+    static ValidationResult pass() { return {}; }
+    static ValidationResult
+    fail(std::size_t at, std::string what)
+    {
+        ValidationResult result;
+        result.ok = false;
+        result.firstMismatch = at;
+        result.detail = std::move(what);
+        return result;
+    }
+};
+
+/**
+ * Which closed-form Tesseract (HMC baseline) model reproduces this
+ * kernel. The baseline is a comparison artifact of Fig. 5, not part of
+ * the open kernel API: kernels without a model (`none`) simply cannot
+ * run on the Tesseract baseline and are excluded from the Fig. 5 set.
+ */
+enum class TesseractModel
+{
+    none,     //!< no baseline model: Dalorex-engine only
+    bfs,      //!< min-update epochs, root-seeded, dist+1 per edge
+    sssp,     //!< min-update epochs, root-seeded, dist+weight
+    wcc,      //!< min-update epochs, all-seeded, label forwarding
+    pagerank, //!< synchronous rank push epochs
+    spmv,     //!< one scatter epoch over all columns
+};
+
+/** Dataset-adaptation and scheduling traits of one kernel. */
+struct KernelTraits
+{
+    /** Attach uniform random edge weights in [weightMin, weightMax]
+     *  (SSSP distances, SPMV matrix values). */
+    bool needsWeights = false;
+    Word weightMin = 1;
+    Word weightMax = 64;
+    /** Run on the symmetrized (undirected-view) graph (WCC, k-core). */
+    bool symmetrize = false;
+    /** Seed from a search root (first vertex with out-degree > 0). */
+    bool needsRoot = false;
+    /** Build a random input vector x in [0, 255] (SPMV). */
+    bool needsInputVector = false;
+    /** Inherent per-epoch synchronization (PageRank, k-core). */
+    bool needsBarrier = false;
+    /** Result is float-valued: validate within relative tolerance. */
+    bool hasFloatResult = false;
+    /** Closed-form Tesseract baseline model, if any. */
+    TesseractModel tesseract = TesseractModel::none;
+};
+
+/** Per-kernel default parameters (overridable per KernelSetup). */
+struct KernelDefaults
+{
+    double damping = 0.85;    //!< PageRank damping factor d
+    unsigned iterations = 10; //!< synchronous epoch budget
+    /** Whether damping/iterations are meaningful for this kernel
+     *  (drives --list-kernels and the --pagerank-iters override). */
+    bool usesDamping = false;
+    bool usesIterations = false;
+};
+
+/** One self-describing kernel of the library. */
+struct KernelInfo
+{
+    /** Canonical CLI name, lowercase ("bfs", "pagerank", "kcore"). */
+    std::string name;
+    /** Report/table display name ("BFS", "PageRank", "KCore"). */
+    std::string display;
+    /** Accepted alternate CLI spellings ("pr", "k-core"). */
+    std::vector<std::string> aliases;
+    /** One-line description for --list-kernels. */
+    std::string summary;
+    /** Figure-set membership ("fig5", "paper"); drivers select by
+     *  tag instead of naming kernels. */
+    std::vector<std::string> tags;
+    /** Listing/enumeration order (paper's Fig. 7/8/9 order first);
+     *  ties break by name, so output never depends on link order. */
+    unsigned order = 1000;
+
+    KernelTraits traits;
+    KernelDefaults defaults;
+
+    /** Build the App for an adapted setup (references setup.graph). */
+    std::function<std::unique_ptr<GraphAppBase>(const KernelSetup&)>
+        factory;
+    /** Sequential reference for integer-valued kernels. */
+    std::function<std::vector<Word>(const KernelSetup&)>
+        referenceWords;
+    /** Sequential reference for float-valued kernels. */
+    std::function<std::vector<double>(const KernelSetup&)>
+        referenceFloats;
+    /** Validator override; empty = exact word equality. */
+    std::function<ValidationResult(const KernelSetup&,
+                                   const std::vector<Word>&)>
+        validateWords;
+    /** Validator override; empty = 1e-3 relative tolerance. */
+    std::function<ValidationResult(const KernelSetup&,
+                                   const std::vector<double>&)>
+        validateFloats;
+
+    bool hasTag(const std::string& tag) const;
+};
+
+/**
+ * The process-wide kernel table. Kernels self-register from their own
+ * translation unit via DALOREX_REGISTER_KERNEL at static-init time;
+ * the registry is immutable once main() starts.
+ */
+class KernelRegistry
+{
+  public:
+    static KernelRegistry& instance();
+
+    /**
+     * Register a kernel; fatal() on a duplicate name/alias or a
+     * missing factory/reference. Returns the stable handle every
+     * consumer passes around (KernelSetup, cli::Options, sweep::Plan).
+     */
+    const KernelInfo* add(KernelInfo info);
+
+    /** Case-insensitive lookup by name or alias; nullptr if unknown. */
+    const KernelInfo* find(const std::string& nameOrAlias) const;
+
+    /** Every kernel, ordered by (order, name). */
+    std::vector<const KernelInfo*> all() const;
+
+    /** The kernels carrying `tag`, ordered by (order, name). */
+    std::vector<const KernelInfo*> tagged(const std::string& tag) const;
+
+    /** Canonical names joined by `sep` ("bfs|sssp|..."), for usage
+     *  text and one-line diagnostics. */
+    std::string namesText(const std::string& sep = "|") const;
+
+  private:
+    KernelRegistry() = default;
+
+    /** unique_ptr keeps handles stable across vector growth. */
+    std::vector<std::unique_ptr<KernelInfo>> kernels_;
+};
+
+/** Every registered kernel (paper order first). */
+std::vector<const KernelInfo*> allKernels();
+
+/** The Fig. 5 ablation subset (tag "fig5"). */
+std::vector<const KernelInfo*> fig5Kernels();
+
+/** The paper's five evaluated kernels (tag "paper"). */
+std::vector<const KernelInfo*> paperKernels();
+
+/** Lookup that fatal()s on unknown names (bench/test convenience). */
+const KernelInfo* kernelOrDie(const std::string& nameOrAlias);
+
+/**
+ * The default CLI kernel (bfs). Separate from find() so cli::Options
+ * can default-initialize without spelling a name lookup.
+ */
+const KernelInfo* defaultKernel();
+
+} // namespace dalorex
+
+/**
+ * Self-register a kernel from its own translation unit. `makeInfo` is
+ * a function returning the filled KernelInfo; the returned handle is
+ * kept alive only to anchor the registration:
+ *
+ *   namespace { KernelInfo myKernelInfo() { ... } }
+ *   DALOREX_REGISTER_KERNEL(myKernelInfo)
+ */
+#define DALOREX_REGISTER_KERNEL(makeInfo)                                 \
+    [[maybe_unused]] static const ::dalorex::KernelInfo*                  \
+        dalorexKernelRegistration_##makeInfo =                            \
+            ::dalorex::KernelRegistry::instance().add(makeInfo());
+
+#endif // DALOREX_APPS_REGISTRY_HH

@@ -1,6 +1,8 @@
 #include "apps/spmv.hh"
 
+#include "apps/kernels.hh"
 #include "common/logging.hh"
+#include "graph/reference.hh"
 
 namespace dalorex
 {
@@ -29,5 +31,36 @@ SpmvApp::start(Machine& machine)
     // Every column is processed exactly once: one full frontier pass.
     seedFullFrontier(machine);
 }
+
+namespace
+{
+
+KernelInfo
+spmvKernelInfo()
+{
+    KernelInfo info;
+    info.name = "spmv";
+    info.display = "SPMV";
+    info.summary = "sparse matrix-vector product y = A*x with integer "
+                   "values in [1, 16], x in [0, 255] (one pass)";
+    info.tags = {"paper"};
+    info.order = 50;
+    info.traits.needsWeights = true;
+    info.traits.weightMin = 1;
+    info.traits.weightMax = 16;
+    info.traits.needsInputVector = true;
+    info.traits.tesseract = TesseractModel::spmv;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<SpmvApp>(setup.graph, setup.x);
+    };
+    info.referenceWords = [](const KernelSetup& setup) {
+        return referenceSpmv(setup.graph, setup.x);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(spmvKernelInfo)
 
 } // namespace dalorex

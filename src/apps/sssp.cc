@@ -1,6 +1,8 @@
 #include "apps/sssp.hh"
 
+#include "apps/kernels.hh"
 #include "common/logging.hh"
+#include "graph/reference.hh"
 
 namespace dalorex
 {
@@ -36,5 +38,36 @@ SsspApp::startEpoch(Machine& machine)
 {
     return seedFrontierBlocks(machine);
 }
+
+namespace
+{
+
+KernelInfo
+ssspKernelInfo()
+{
+    KernelInfo info;
+    info.name = "sssp";
+    info.display = "SSSP";
+    info.summary = "single-source shortest paths over random edge "
+                   "weights in [1, 64] (barrierless min-update)";
+    info.tags = {"fig5", "paper"};
+    info.order = 40;
+    info.traits.needsRoot = true;
+    info.traits.needsWeights = true;
+    info.traits.weightMin = 1;
+    info.traits.weightMax = 64;
+    info.traits.tesseract = TesseractModel::sssp;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<SsspApp>(setup.graph, setup.root);
+    };
+    info.referenceWords = [](const KernelSetup& setup) {
+        return referenceSssp(setup.graph, setup.root);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(ssspKernelInfo)
 
 } // namespace dalorex

@@ -1,5 +1,8 @@
 #include "apps/wcc.hh"
 
+#include "apps/kernels.hh"
+#include "graph/reference.hh"
+
 namespace dalorex
 {
 
@@ -26,5 +29,33 @@ WccApp::startEpoch(Machine& machine)
 {
     return seedFrontierBlocks(machine);
 }
+
+namespace
+{
+
+KernelInfo
+wccKernelInfo()
+{
+    KernelInfo info;
+    info.name = "wcc";
+    info.display = "WCC";
+    info.summary = "weakly connected components by label propagation "
+                   "on the symmetrized graph (barrierless)";
+    info.tags = {"fig5", "paper"};
+    info.order = 20;
+    info.traits.symmetrize = true;
+    info.traits.tesseract = TesseractModel::wcc;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<WccApp>(setup.graph);
+    };
+    info.referenceWords = [](const KernelSetup& setup) {
+        return referenceWcc(setup.graph);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(wccKernelInfo)
 
 } // namespace dalorex

@@ -176,9 +176,10 @@ runMinUpdate(const KernelSetup& setup, const TesseractConfig& config)
     TesseractResult result;
     EpochRunner runner(graph, config, result);
 
+    const TesseractModel model = setup.kernel->traits.tesseract;
     result.values.assign(graph.numVertices, infDist);
     std::vector<VertexId> frontier;
-    if (setup.kernel == Kernel::wcc) {
+    if (model == TesseractModel::wcc) {
         for (VertexId v = 0; v < graph.numVertices; ++v)
             result.values[v] = v;
         frontier.resize(graph.numVertices);
@@ -198,11 +199,11 @@ runMinUpdate(const KernelSetup& setup, const TesseractConfig& config)
             const EdgeId end = graph.rowPtr[v + 1];
             args.clear();
             for (EdgeId i = begin; i < end; ++i) {
-                switch (setup.kernel) {
-                  case Kernel::bfs:
+                switch (model) {
+                  case TesseractModel::bfs:
                     args.push_back(result.values[v] + 1);
                     break;
-                  case Kernel::sssp:
+                  case TesseractModel::sssp:
                     args.push_back(result.values[v] +
                                    graph.weights[i]);
                     break;
@@ -309,17 +310,20 @@ TesseractResult
 runTesseract(const KernelSetup& setup, const TesseractConfig& config)
 {
     fatal_if(config.numCores() == 0, "Tesseract needs cores");
-    switch (setup.kernel) {
-      case Kernel::bfs:
-      case Kernel::sssp:
-      case Kernel::wcc:
+    switch (setup.kernel->traits.tesseract) {
+      case TesseractModel::bfs:
+      case TesseractModel::sssp:
+      case TesseractModel::wcc:
         return runMinUpdate(setup, config);
-      case Kernel::pagerank:
+      case TesseractModel::pagerank:
         return runPageRank(setup, config);
-      case Kernel::spmv:
+      case TesseractModel::spmv:
         return runSpmv(setup, config);
+      case TesseractModel::none:
+        break;
     }
-    panic("unreachable kernel");
+    fatal("kernel ", setup.kernel->name, " declares no Tesseract "
+          "baseline model (traits.tesseract == none)");
 }
 
 double

@@ -63,21 +63,13 @@ parseU32(const std::string& text, std::uint32_t min, std::uint32_t max,
 }
 
 bool
-parseKernel(const std::string& text, Kernel& out)
+parseKernel(const std::string& text, const KernelInfo*& out)
 {
-    const std::string k = toLower(text);
-    if (k == "bfs")
-        out = Kernel::bfs;
-    else if (k == "sssp")
-        out = Kernel::sssp;
-    else if (k == "wcc")
-        out = Kernel::wcc;
-    else if (k == "pagerank" || k == "pr")
-        out = Kernel::pagerank;
-    else if (k == "spmv")
-        out = Kernel::spmv;
-    else
+    const KernelInfo* kernel =
+        KernelRegistry::instance().find(text);
+    if (kernel == nullptr)
         return false;
+    out = kernel;
     return true;
 }
 
@@ -153,8 +145,9 @@ parseArgs(int argc, const char* const* argv)
             o.help = true;
         } else if (flag == "--kernel") {
             if (!parseKernel(value, o.kernel))
-                return fail("unknown kernel: " + value +
-                            " (bfs|sssp|wcc|pagerank|spmv)");
+                return fail("unknown kernel: " + value + " (" +
+                            KernelRegistry::instance().namesText() +
+                            "; try --list-kernels)");
         } else if (flag == "--width") {
             if (!parseU32(value, 1, 1024, o.machine.width))
                 return fail("--width must be in [1, 1024], got " +
@@ -213,6 +206,8 @@ parseArgs(int argc, const char* const* argv)
             o.validate = true;
         } else if (flag == "--list-datasets") {
             o.listDatasets = true;
+        } else if (flag == "--list-kernels") {
+            o.listKernels = true;
         } else {
             return fail("unknown option: " + flag + " (try --help)");
         }
@@ -239,7 +234,8 @@ usageText()
         "point on a worker pool (see `dalorex sweep --help`).\n"
         "\n"
         "scenario:\n"
-        "  --kernel K           bfs|sssp|wcc|pagerank|spmv"
+        "  --kernel K           " +
+        KernelRegistry::instance().namesText() +
         " (default bfs)\n"
         "  --scale N            RMAT dataset scale, V = 2^N"
         " (default 12)\n"
@@ -264,8 +260,9 @@ usageText()
         "output:\n"
         "  --json               emit one JSON object instead of text\n"
         "  --validate           check output against the sequential\n"
-        "                       reference (fatal on mismatch)\n"
+        "                       reference (exit 2 on mismatch)\n"
         "  --list-datasets      list the named datasets and exit\n"
+        "  --list-kernels       list the registered kernels and exit\n"
         "  --help               this text\n"
         "\n"
         "examples:\n"
@@ -273,6 +270,51 @@ usageText()
         " --topology torus --json\n"
         "  dalorex --kernel sssp --dataset amazon --width 16"
         " --height 16 --validate\n";
+}
+
+std::string
+kernelListText()
+{
+    std::ostringstream out;
+    out << "kernels (from the registry; names and aliases are "
+           "case-insensitive):\n";
+    for (const KernelInfo* kernel : allKernels()) {
+        out << "  " << kernel->name;
+        if (!kernel->aliases.empty()) {
+            out << " (";
+            for (std::size_t i = 0; i < kernel->aliases.size(); ++i)
+                out << (i > 0 ? ", " : "") << kernel->aliases[i];
+            out << ")";
+        }
+        out << "\n      " << kernel->summary << "\n      ";
+        const KernelTraits& traits = kernel->traits;
+        out << (traits.needsBarrier ? "epoch-synchronized"
+                                    : "barrierless");
+        if (traits.symmetrize)
+            out << ", symmetrized graph";
+        if (traits.needsWeights)
+            out << ", edge values in [" << traits.weightMin << ", "
+                << traits.weightMax << "]";
+        if (traits.needsInputVector)
+            out << ", input vector x";
+        if (traits.needsRoot)
+            out << ", root-seeded";
+        out << (traits.hasFloatResult
+                    ? "; float result (1e-3 rel tolerance)"
+                    : "; exact integer result");
+        if (kernel->defaults.usesDamping)
+            out << "; damping " << kernel->defaults.damping;
+        if (kernel->defaults.usesIterations)
+            out << "; " << kernel->defaults.iterations
+                << " epochs default";
+        if (!kernel->tags.empty()) {
+            out << "\n      figure sets: ";
+            for (std::size_t i = 0; i < kernel->tags.size(); ++i)
+                out << (i > 0 ? ", " : "") << kernel->tags[i];
+        }
+        out << "\n";
+    }
+    return out.str();
 }
 
 std::string
@@ -289,14 +331,35 @@ datasetListText()
     return out.str();
 }
 
-Report
+namespace
+{
+
+RunOutcome
+failRun(RunOutcome outcome, const std::string& message)
+{
+    outcome.ok = false;
+    outcome.error = message;
+    return outcome;
+}
+
+} // namespace
+
+RunOutcome
 runScenario(const Options& options)
 {
-    Report report;
+    RunOutcome outcome;
+    Report& report = outcome.report;
     report.options = options;
+
+    if (options.kernel == nullptr)
+        return failRun(std::move(outcome), "scenario has no kernel");
 
     Csr base;
     if (!options.dataset.empty()) {
+        if (!knownDataset(options.dataset))
+            return failRun(std::move(outcome),
+                           "unknown dataset: " + options.dataset +
+                               " (try --list-datasets)");
         Dataset ds = options.datasetScale > 0
                          ? makeDatasetAt(options.dataset,
                                          options.datasetScale,
@@ -313,7 +376,7 @@ runScenario(const Options& options)
     }
 
     KernelSetup setup =
-        makeKernelSetup(options.kernel, base, options.seed);
+        makeKernelSetup(*options.kernel, base, options.seed);
     if (options.pagerankIterations > 0)
         setup.iterations = options.pagerankIterations;
     report.numVertices = setup.graph.numVertices;
@@ -325,17 +388,20 @@ runScenario(const Options& options)
     report.stats = machine.run(*app);
 
     if (options.validate) {
-        if (setup.kernel == Kernel::pagerank)
-            validateFloats(setup, app->gatherFloats(machine));
-        else
-            validateWords(setup, app->gatherValues(machine));
+        const ValidationResult valid =
+            validateRun(setup, *app, machine);
+        if (!valid)
+            return failRun(std::move(outcome),
+                           options.kernel->name + " on " +
+                               report.datasetName + ": " +
+                               valid.detail);
         report.validated = true;
     }
 
     report.energy = dalorexEnergy(report.stats, options.machine);
     report.seconds = runSeconds(report.stats);
     report.bandwidthBytesPerSec = avgMemoryBandwidth(report.stats);
-    return report;
+    return outcome;
 }
 
 std::string
@@ -345,7 +411,7 @@ renderJson(const Report& report)
     const RunStats& s = report.stats;
     std::ostringstream out;
     out << "{";
-    out << "\"kernel\":\"" << toLower(toString(o.kernel)) << "\",";
+    out << "\"kernel\":\"" << o.kernel->name << "\",";
     out << "\"dataset\":{"
         << "\"name\":\"" << report.datasetName << "\","
         << "\"vertices\":" << report.numVertices << ","
@@ -412,7 +478,7 @@ renderText(const Report& report)
     const Options& o = report.options;
     const RunStats& s = report.stats;
     std::ostringstream out;
-    out << "kernel            " << toString(o.kernel) << " on "
+    out << "kernel            " << o.kernel->display << " on "
         << report.datasetName << " (V=" << report.numVertices
         << ", E=" << report.numEdges << ", seed=" << o.seed << ")\n";
     out << "machine           " << o.machine.width << "x"
@@ -460,9 +526,17 @@ cliMain(int argc, const char* const* argv, std::ostream& out,
         out << datasetListText();
         return 0;
     }
-    const Report report = runScenario(parsed.options);
-    out << (parsed.options.json ? renderJson(report)
-                                : renderText(report));
+    if (parsed.options.listKernels) {
+        out << kernelListText();
+        return 0;
+    }
+    const RunOutcome outcome = runScenario(parsed.options);
+    if (!outcome.ok) {
+        err << "dalorex: " << outcome.error << "\n";
+        return 2;
+    }
+    out << (parsed.options.json ? renderJson(outcome.report)
+                                : renderText(outcome.report));
     return 0;
 }
 

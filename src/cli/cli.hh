@@ -28,7 +28,8 @@ namespace cli
 /** One scenario, fully determined by argv. */
 struct Options
 {
-    Kernel kernel = Kernel::bfs;
+    /** Registry handle of the scenario's kernel (never null). */
+    const KernelInfo* kernel = defaultKernel();
     MachineConfig machine; //!< width/height/topology/policy/...
     /** Named dataset ("amazon", "wiki", "rmat14", ...); empty = RMAT
      *  at `scale`. */
@@ -45,6 +46,7 @@ struct Options
     bool validate = false;    //!< check against sequential reference
     bool help = false;        //!< --help was requested
     bool listDatasets = false; //!< --list-datasets was requested
+    bool listKernels = false; //!< --list-kernels was requested
 };
 
 /** Outcome of parsing argv: options, or a diagnostic. */
@@ -61,15 +63,21 @@ struct ParseResult
  */
 ParseResult parseArgs(int argc, const char* const* argv);
 
-/** The --help text. */
+/** The --help text (kernel names rendered from the registry). */
 std::string usageText();
 
 /** The --list-datasets text (shared with `dalorex sweep`). */
 std::string datasetListText();
 
-// Enum-name parsers shared with the sweep grid flags; all return
-// false on unknown names and accept the usage-text aliases.
-bool parseKernel(const std::string& text, Kernel& out);
+/** The --list-kernels text: every registered kernel's name, aliases,
+ *  traits, defaults and tags (shared with `dalorex sweep`). */
+std::string kernelListText();
+
+// Name parsers shared with the sweep grid flags; all return false on
+// unknown names and accept the usage-text aliases. The kernel parser
+// resolves through the registry, so new kernels parse with no edits
+// here.
+bool parseKernel(const std::string& text, const KernelInfo*& out);
 bool parseTopology(const std::string& text, NocTopology& out);
 bool parsePolicy(const std::string& text, SchedPolicy& out);
 bool parseDistribution(const std::string& text, Distribution& out);
@@ -95,12 +103,23 @@ struct Report
     bool validated = false;
 };
 
+/** One scenario run, or a one-line diagnostic. */
+struct RunOutcome
+{
+    Report report;
+    bool ok = true;
+    /** Set when !ok: impossible scenario or reference mismatch. */
+    std::string error;
+};
+
 /**
  * Build the dataset and kernel, run the machine, derive energy.
- * fatal() on impossible scenarios (e.g. unknown dataset name) and on
- * reference mismatch when options.validate is set.
+ * Impossible scenarios (e.g. unknown dataset name) and reference
+ * mismatches under options.validate come back as ok == false with a
+ * one-line diagnostic instead of killing the process, so one bad
+ * point fails its own sweep row, not the whole grid.
  */
-Report runScenario(const Options& options);
+RunOutcome runScenario(const Options& options);
 
 /** Render a report as a single valid JSON object (with newline). */
 std::string renderJson(const Report& report);
@@ -110,7 +129,8 @@ std::string renderText(const Report& report);
 
 /**
  * Full program behavior: parse, run, print to `out`; diagnostics go
- * to `err`. Returns the process exit code (0 ok, 2 usage error).
+ * to `err`. Returns the process exit code (0 ok, 2 on a usage error
+ * or an impossible/failed scenario — one-line diagnostic on err).
  */
 int cliMain(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);

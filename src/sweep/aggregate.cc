@@ -30,7 +30,7 @@ groupKey(const cli::Report& report)
 {
     const cli::Options& o = report.options;
     std::ostringstream key;
-    key << toString(o.kernel) << '|' << datasetLabel(report) << '|'
+    key << o.kernel->name << '|' << datasetLabel(report) << '|'
         << o.seed << '|' << toString(o.machine.topology) << '|'
         << o.machine.rucheFactor << '|' << toString(o.machine.policy)
         << '|' << toString(o.machine.distribution) << '|'
@@ -50,9 +50,9 @@ std::string
 describeGroup(const cli::Report& report)
 {
     const cli::Options& o = report.options;
-    return std::string(toString(o.kernel)) + " on " +
-           datasetLabel(report) + ", " + toString(o.machine.topology) +
-           "/" + toString(o.machine.policy);
+    return o.kernel->display + " on " + datasetLabel(report) + ", " +
+           toString(o.machine.topology) + "/" +
+           toString(o.machine.policy);
 }
 
 } // namespace
@@ -128,7 +128,7 @@ toTable(const std::vector<Row>& rows)
         const cli::Options& o = r.options;
         const std::uint32_t tiles = o.machine.numTiles();
         table.addRow(
-            {toLower(toString(o.kernel)), datasetLabel(r),
+            {o.kernel->name, datasetLabel(r),
              std::to_string(r.numVertices),
              std::to_string(r.numEdges), std::to_string(tiles),
              toString(shapeOf(r)), toString(o.machine.topology),
@@ -171,7 +171,7 @@ toJsonl(const std::vector<Row>& rows)
         const cli::Options& o = r.options;
         const std::uint32_t tiles = o.machine.numTiles();
         out << "{"
-            << "\"kernel\":\"" << toLower(toString(o.kernel)) << "\","
+            << "\"kernel\":\"" << o.kernel->name << "\","
             << "\"dataset\":\"" << datasetLabel(r) << "\","
             << "\"vertices\":" << r.numVertices << ","
             << "\"edges\":" << r.numEdges << ","

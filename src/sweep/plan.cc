@@ -67,7 +67,8 @@ toString(const GridShape& shape)
 ExpandResult
 expand(const Plan& plan)
 {
-    const std::vector<Kernel> kernels = unique(plan.kernels);
+    const std::vector<const KernelInfo*> kernels =
+        unique(plan.kernels);
     const std::vector<DatasetSpec> datasets = unique(plan.datasets);
     const std::vector<GridShape> grids = unique(plan.grids);
     const std::vector<NocTopology> topologies =
@@ -79,6 +80,10 @@ expand(const Plan& plan)
 
     if (kernels.empty())
         return fail("kernel axis is empty");
+    for (const KernelInfo* kernel : kernels) {
+        if (kernel == nullptr)
+            return fail("kernel axis contains a null kernel handle");
+    }
     if (datasets.empty())
         return fail("dataset axis is empty");
     if (grids.empty())
@@ -128,7 +133,7 @@ expand(const Plan& plan)
         return fail("baseline grid " + toString(result.baseline) +
                     " is not on the grid axis");
 
-    for (const Kernel kernel : kernels)
+    for (const KernelInfo* kernel : kernels)
         for (const DatasetSpec& ds : datasets)
             for (const GridShape& grid : grids)
                 for (const NocTopology topology : topologies)

@@ -70,7 +70,9 @@ struct DatasetSpec
  */
 struct Plan
 {
-    std::vector<Kernel> kernels;
+    /** Registry handles; `allKernels()` enumerates every registered
+     *  kernel (the `--kernel all` axis). */
+    std::vector<const KernelInfo*> kernels;
     std::vector<DatasetSpec> datasets;
     std::vector<GridShape> grids;
     std::vector<NocTopology> topologies{NocTopology::torus};

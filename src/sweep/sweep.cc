@@ -23,11 +23,36 @@ run(const ExpandResult& expanded, unsigned threads)
         return result;
     }
     result.baseline = expanded.baseline;
-    result.reports.resize(expanded.points.size());
+    result.outcomes.resize(expanded.points.size());
     runIndexed(expanded.points.size(), threads, [&](std::size_t i) {
-        result.reports[i] = cli::runScenario(expanded.points[i]);
+        result.outcomes[i] = cli::runScenario(expanded.points[i]);
     });
     return result;
+}
+
+std::vector<cli::Report>
+RunResult::okReports() const
+{
+    std::vector<cli::Report> reports;
+    reports.reserve(outcomes.size());
+    for (const cli::RunOutcome& outcome : outcomes)
+        if (outcome.ok)
+            reports.push_back(outcome.report);
+    return reports;
+}
+
+std::vector<std::string>
+RunResult::rowErrors() const
+{
+    std::vector<std::string> errors;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok)
+            continue;
+        errors.push_back("point " + std::to_string(i + 1) + "/" +
+                         std::to_string(outcomes.size()) + ": " +
+                         outcomes[i].error);
+    }
+    return errors;
 }
 
 } // namespace sweep

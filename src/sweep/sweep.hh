@@ -23,13 +23,26 @@ namespace dalorex
 namespace sweep
 {
 
-/** Outcome of running a plan: one report per point, or a diagnostic. */
+/**
+ * Outcome of running a plan: one outcome per point, or a plan-level
+ * diagnostic. A point that fails (impossible scenario, reference
+ * mismatch under validate) fails only its own row — `ok` stays true,
+ * the row's RunOutcome carries the one-line error, and the remaining
+ * points still run.
+ */
 struct RunResult
 {
-    std::vector<cli::Report> reports; //!< expansion order
-    GridShape baseline{};             //!< resolved baseline shape
-    bool ok = true;
+    std::vector<cli::RunOutcome> outcomes; //!< expansion order
+    GridShape baseline{};                  //!< resolved baseline shape
+    bool ok = true;    //!< plan expanded (not: every row succeeded)
     std::string error; //!< one line, set when !ok
+
+    /** Reports of the successful rows, expansion order preserved. */
+    std::vector<cli::Report> okReports() const;
+    /** One rendered line per failed row ("point 3/12: ..."). */
+    std::vector<std::string> rowErrors() const;
+    /** Whether every row ran and validated. */
+    bool allRowsOk() const { return ok && rowErrors().empty(); }
 };
 
 /**

@@ -92,17 +92,21 @@ parseSweepArgs(int argc, const char* const* argv)
             o.help = true;
         } else if (flag == "--list-datasets") {
             o.listDatasets = true;
+        } else if (flag == "--list-kernels") {
+            o.listKernels = true;
         } else if (flag == "--kernel") {
             for (const std::string& item : splitCommas(value)) {
                 if (toLower(item) == "all") {
-                    for (const Kernel k : allKernels())
+                    for (const KernelInfo* k : allKernels())
                         o.plan.kernels.push_back(k);
                     continue;
                 }
-                Kernel kernel;
+                const KernelInfo* kernel = nullptr;
                 if (!cli::parseKernel(item, kernel))
-                    return fail("unknown kernel: " + item +
-                                " (bfs|sssp|wcc|pagerank|spmv|all)");
+                    return fail(
+                        "unknown kernel: " + item + " (" +
+                        KernelRegistry::instance().namesText() +
+                        "|all)");
                 o.plan.kernels.push_back(kernel);
             }
         } else if (flag == "--dataset") {
@@ -265,8 +269,9 @@ sweepUsageText()
         "efficiency and energy per edge.\n"
         "\n"
         "grid axes (comma-separated values):\n"
-        "  --kernel K,...        bfs|sssp|wcc|pagerank|spmv|all"
-        " (default all)\n"
+        "  --kernel K,...        " +
+        KernelRegistry::instance().namesText() +
+        "|all (default all)\n"
         "  --dataset NAME,...    amazon|wiki|livejournal|rmatN;"
         " NAME@SCALE pins\n"
         "                        a stand-in scale"
@@ -307,6 +312,8 @@ sweepUsageText()
         "  --json                print JSON-lines to stdout instead"
         " of the table\n"
         "  --list-datasets       list the dataset names and exit\n"
+        "  --list-kernels        list the registered kernels and"
+        " exit\n"
         "  --help                this text\n"
         "\n"
         "examples:\n"
@@ -334,6 +341,10 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         out << cli::datasetListText();
         return 0;
     }
+    if (o.listKernels) {
+        out << cli::kernelListText();
+        return 0;
+    }
 
     const ExpandResult expanded = expand(o.plan);
     if (!expanded.ok) {
@@ -351,9 +362,17 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         err << "dalorex sweep: " << run_result.error << "\n";
         return 2;
     }
+    // A failed point fails only its own row: report it, render the
+    // survivors (whose baseline row may be among the casualties, so
+    // degrade missing baselines to "-" instead of erroring).
+    const std::vector<std::string> row_errors =
+        run_result.rowErrors();
+    for (const std::string& line : row_errors)
+        err << "dalorex sweep: " << line << "\n";
     const AggregateResult agg =
-        aggregate(run_result.reports, run_result.baseline,
-                  MissingBaseline::error);
+        aggregate(run_result.okReports(), run_result.baseline,
+                  row_errors.empty() ? MissingBaseline::error
+                                     : MissingBaseline::skip);
     if (!agg.ok) {
         err << "dalorex sweep: " << agg.error << "\n";
         return 2;
@@ -374,7 +393,7 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         fatal_if(!file, "error writing JSONL output file: ",
                  o.jsonlPath);
     }
-    return 0;
+    return row_errors.empty() ? 0 : 1;
 }
 
 } // namespace sweep

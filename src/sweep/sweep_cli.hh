@@ -32,6 +32,7 @@ struct SweepOptions
     bool quick = true;     //!< stand-in scale for named datasets
     bool help = false;
     bool listDatasets = false;
+    bool listKernels = false;
 };
 
 /** Outcome of parsing sweep argv: options, or a diagnostic. */
@@ -55,7 +56,9 @@ std::string sweepUsageText();
 /**
  * Full subcommand behavior: parse, expand, run on the worker pool,
  * aggregate, render. Diagnostics go to `err`. Returns the process
- * exit code (0 ok, 2 usage/plan error).
+ * exit code: 0 ok, 2 usage/plan error, 1 when individual scenario
+ * rows failed (their one-line errors go to `err`; the surviving rows
+ * still render).
  */
 int sweepMain(int argc, const char* const* argv, std::ostream& out,
               std::ostream& err);

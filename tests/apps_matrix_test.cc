@@ -45,7 +45,7 @@ expectMatchesReference(const KernelSetup& setup,
     Machine machine(config, setup.graph.numVertices,
                     setup.graph.numEdges);
     machine.run(*app);
-    if (setup.kernel == Kernel::pagerank) {
+    if (setup.floatResult()) {
         const std::vector<double> got = app->gatherFloats(machine);
         const std::vector<double> want = setup.referenceFloats();
         ASSERT_EQ(got.size(), want.size());
@@ -64,14 +64,14 @@ expectMatchesReference(const KernelSetup& setup,
 
 class KernelGrid
     : public ::testing::TestWithParam<
-          std::tuple<Kernel, std::pair<int, int>>>
+          std::tuple<const KernelInfo*, std::pair<int, int>>>
 {
 };
 
 TEST_P(KernelGrid, MatchesReference)
 {
     const auto [kernel, shape] = GetParam();
-    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    KernelSetup setup = makeKernelSetup(*kernel, matrixGraph());
     setup.iterations = 4;
     MachineConfig config;
     config.width = static_cast<std::uint32_t>(shape.first);
@@ -82,14 +82,13 @@ TEST_P(KernelGrid, MatchesReference)
 INSTANTIATE_TEST_SUITE_P(
     Shapes, KernelGrid,
     ::testing::Combine(
-        ::testing::Values(Kernel::bfs, Kernel::sssp, Kernel::wcc,
-                          Kernel::pagerank, Kernel::spmv),
+        ::testing::ValuesIn(allKernels()),
         ::testing::Values(std::pair{1, 1}, std::pair{2, 2},
                           std::pair{8, 2}, std::pair{8, 8})),
     [](const auto& info) {
-        const Kernel kernel = std::get<0>(info.param);
+        const KernelInfo* kernel = std::get<0>(info.param);
         const auto shape = std::get<1>(info.param);
-        return std::string(toString(kernel)) + "_" +
+        return kernel->display + "_" +
                std::to_string(shape.first) + "x" +
                std::to_string(shape.second);
     });
@@ -97,14 +96,15 @@ INSTANTIATE_TEST_SUITE_P(
 // ---- kernels x NoC topologies -----------------------------------
 
 class KernelNoc
-    : public ::testing::TestWithParam<std::tuple<Kernel, NocTopology>>
+    : public ::testing::TestWithParam<
+          std::tuple<const KernelInfo*, NocTopology>>
 {
 };
 
 TEST_P(KernelNoc, MatchesReference)
 {
     const auto [kernel, topology] = GetParam();
-    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    KernelSetup setup = makeKernelSetup(*kernel, matrixGraph());
     setup.iterations = 4;
     MachineConfig config;
     config.width = 8;
@@ -118,13 +118,12 @@ TEST_P(KernelNoc, MatchesReference)
 INSTANTIATE_TEST_SUITE_P(
     Topologies, KernelNoc,
     ::testing::Combine(
-        ::testing::Values(Kernel::bfs, Kernel::sssp, Kernel::wcc,
-                          Kernel::pagerank, Kernel::spmv),
+        ::testing::ValuesIn(allKernels()),
         ::testing::Values(NocTopology::mesh, NocTopology::torus,
                           NocTopology::torusRuche)),
     [](const auto& info) {
         std::string name =
-            std::string(toString(std::get<0>(info.param))) + "_" +
+            std::get<0>(info.param)->display + "_" +
             toString(std::get<1>(info.param));
         for (auto& ch : name)
             if (ch == '-')
@@ -144,14 +143,15 @@ struct ModeCase
 };
 
 class KernelMode
-    : public ::testing::TestWithParam<std::tuple<Kernel, ModeCase>>
+    : public ::testing::TestWithParam<
+          std::tuple<const KernelInfo*, ModeCase>>
 {
 };
 
 TEST_P(KernelMode, MatchesReference)
 {
     const auto [kernel, mode] = GetParam();
-    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    KernelSetup setup = makeKernelSetup(*kernel, matrixGraph());
     setup.iterations = 4;
     MachineConfig config;
     config.width = 4;
@@ -166,8 +166,7 @@ TEST_P(KernelMode, MatchesReference)
 INSTANTIATE_TEST_SUITE_P(
     Modes, KernelMode,
     ::testing::Combine(
-        ::testing::Values(Kernel::bfs, Kernel::sssp, Kernel::wcc,
-                          Kernel::pagerank, Kernel::spmv),
+        ::testing::ValuesIn(allKernels()),
         ::testing::Values(
             ModeCase{"roundrobin", SchedPolicy::roundRobin,
                      Distribution::lowOrder, false, 0},
@@ -178,21 +177,22 @@ INSTANTIATE_TEST_SUITE_P(
             ModeCase{"interrupting", SchedPolicy::roundRobin,
                      Distribution::highOrder, true, 50})),
     [](const auto& info) {
-        return std::string(toString(std::get<0>(info.param))) + "_" +
+        return std::get<0>(info.param)->display + "_" +
                std::get<1>(info.param).name;
     });
 
 // ---- queue sizing sweeps ----------------------------------------
 
 class KernelQueues
-    : public ::testing::TestWithParam<std::tuple<Kernel, int>>
+    : public ::testing::TestWithParam<
+          std::tuple<const KernelInfo*, int>>
 {
 };
 
 TEST_P(KernelQueues, TinyQueuesStillCorrect)
 {
     const auto [kernel, oqt2] = GetParam();
-    KernelSetup setup = makeKernelSetup(kernel, matrixGraph());
+    KernelSetup setup = makeKernelSetup(*kernel, matrixGraph());
     setup.iterations = 3;
     auto app = setup.makeApp();
     QueueSizing sizing;
@@ -209,7 +209,7 @@ TEST_P(KernelQueues, TinyQueuesStillCorrect)
     Machine machine(config, setup.graph.numVertices,
                     setup.graph.numEdges);
     machine.run(*app);
-    if (kernel == Kernel::pagerank) {
+    if (setup.floatResult()) {
         const std::vector<double> want = setup.referenceFloats();
         const std::vector<double> got = app->gatherFloats(machine);
         for (std::size_t v = 0; v < got.size(); ++v)
@@ -223,13 +223,11 @@ TEST_P(KernelQueues, TinyQueuesStillCorrect)
 
 INSTANTIATE_TEST_SUITE_P(
     Sizes, KernelQueues,
-    ::testing::Combine(::testing::Values(Kernel::bfs, Kernel::sssp,
-                                         Kernel::wcc, Kernel::spmv,
-                                         Kernel::pagerank),
+    ::testing::Combine(::testing::ValuesIn(allKernels()),
                        ::testing::Values(4, 32)),
     [](const auto& info) {
-        return std::string(toString(std::get<0>(info.param))) +
-               "_oqt2_" + std::to_string(std::get<1>(info.param));
+        return std::get<0>(info.param)->display + "_oqt2_" +
+               std::to_string(std::get<1>(info.param));
     });
 
 // ---- seeds / graph shapes ---------------------------------------
@@ -245,9 +243,9 @@ TEST_P(KernelSeeds, RandomGraphsAllKernels)
     params.edgeFactor = 6;
     params.seed = static_cast<std::uint64_t>(GetParam());
     const Csr graph = rmatGraph(params);
-    for (const Kernel kernel : allKernels()) {
+    for (const KernelInfo* kernel : allKernels()) {
         KernelSetup setup = makeKernelSetup(
-            kernel, graph, static_cast<std::uint64_t>(GetParam()));
+            *kernel, graph, static_cast<std::uint64_t>(GetParam()));
         setup.iterations = 3;
         MachineConfig config;
         config.width = 4;
@@ -267,8 +265,8 @@ TEST(KernelEdgeCases, PathGraphAllKernels)
     for (VertexId v = 0; v + 1 < 300; ++v)
         edges.emplace_back(v, v + 1);
     const Csr graph = buildCsr(300, edges);
-    for (const Kernel kernel : allKernels()) {
-        KernelSetup setup = makeKernelSetup(kernel, graph);
+    for (const KernelInfo* kernel : allKernels()) {
+        KernelSetup setup = makeKernelSetup(*kernel, graph);
         setup.iterations = 3;
         MachineConfig config;
         config.width = 4;
@@ -286,8 +284,8 @@ TEST(KernelEdgeCases, StarGraphAllKernels)
             edges.emplace_back(v, 0);
     }
     const Csr graph = buildCsr(400, edges);
-    for (const Kernel kernel : allKernels()) {
-        KernelSetup setup = makeKernelSetup(kernel, graph);
+    for (const KernelInfo* kernel : allKernels()) {
+        KernelSetup setup = makeKernelSetup(*kernel, graph);
         setup.iterations = 3;
         MachineConfig config;
         config.width = 4;
@@ -304,8 +302,8 @@ TEST(KernelEdgeCases, DisconnectedComponents)
         for (VertexId v = 0; v + 1 < 100; ++v)
             edges.emplace_back(base + v, base + v + 1);
     const Csr graph = buildCsr(300, edges);
-    for (const Kernel kernel : allKernels()) {
-        KernelSetup setup = makeKernelSetup(kernel, graph);
+    for (const KernelInfo* kernel : allKernels()) {
+        KernelSetup setup = makeKernelSetup(*kernel, graph);
         setup.iterations = 3;
         MachineConfig config;
         config.width = 2;

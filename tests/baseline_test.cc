@@ -35,7 +35,7 @@ testGraph()
 TEST(Tesseract, BfsMatchesReference)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::bfs, testGraph());
+        makeKernelSetup("bfs", testGraph());
     const TesseractResult result = runTesseract(setup);
     EXPECT_EQ(result.values, setup.referenceWords());
     EXPECT_GT(result.cycles, 0u);
@@ -45,7 +45,7 @@ TEST(Tesseract, BfsMatchesReference)
 TEST(Tesseract, SsspMatchesReference)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::sssp, testGraph());
+        makeKernelSetup("sssp", testGraph());
     const TesseractResult result = runTesseract(setup);
     EXPECT_EQ(result.values, setup.referenceWords());
 }
@@ -53,7 +53,7 @@ TEST(Tesseract, SsspMatchesReference)
 TEST(Tesseract, WccMatchesReference)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::wcc, testGraph());
+        makeKernelSetup("wcc", testGraph());
     const TesseractResult result = runTesseract(setup);
     EXPECT_EQ(result.values, setup.referenceWords());
 }
@@ -61,7 +61,7 @@ TEST(Tesseract, WccMatchesReference)
 TEST(Tesseract, SpmvMatchesReference)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::spmv, testGraph());
+        makeKernelSetup("spmv", testGraph());
     const TesseractResult result = runTesseract(setup);
     EXPECT_EQ(result.values, setup.referenceWords());
     EXPECT_EQ(result.epochs, 1u);
@@ -69,7 +69,7 @@ TEST(Tesseract, SpmvMatchesReference)
 
 TEST(Tesseract, PageRankMatchesReference)
 {
-    KernelSetup setup = makeKernelSetup(Kernel::pagerank, testGraph());
+    KernelSetup setup = makeKernelSetup("pagerank", testGraph());
     setup.iterations = 6;
     const TesseractResult result = runTesseract(setup);
     const std::vector<double> want = setup.referenceFloats();
@@ -84,7 +84,7 @@ TEST(Tesseract, PageRankMatchesReference)
 TEST(Tesseract, BfsEpochsMatchLevels)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::bfs, testGraph());
+        makeKernelSetup("bfs", testGraph());
     const TesseractResult result = runTesseract(setup);
     Word max_level = 0;
     for (const Word d : setup.referenceWords())
@@ -99,7 +99,7 @@ TEST(Tesseract, BfsEpochsMatchLevels)
 TEST(Tesseract, LargeCacheIsFaster)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::bfs, testGraph());
+        makeKernelSetup("bfs", testGraph());
     TesseractConfig base;
     TesseractConfig lc;
     lc.largeCache = true;
@@ -115,7 +115,7 @@ TEST(Tesseract, LargeCacheIsFaster)
 TEST(Tesseract, InterruptCostDominates)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::bfs, testGraph());
+        makeKernelSetup("bfs", testGraph());
     TesseractConfig cheap;
     cheap.interruptCycles = 0;
     TesseractConfig expensive;
@@ -130,7 +130,7 @@ TEST(Tesseract, VertexBlocksAreImbalanced)
     // Crawl-ordered graphs concentrate hot vertices in the first
     // blocks: per-core busy cycles must be visibly imbalanced.
     const Csr graph = crawlOrder(testGraph());
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     const TesseractResult result = runTesseract(setup);
     std::vector<double> busy(result.coreBusyCycles.begin(),
                              result.coreBusyCycles.end());
@@ -140,7 +140,7 @@ TEST(Tesseract, VertexBlocksAreImbalanced)
 TEST(Tesseract, SerdesTrafficOnlyBetweenCubes)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::bfs, testGraph());
+        makeKernelSetup("bfs", testGraph());
     TesseractConfig one_cube;
     one_cube.numCubes = 1;
     one_cube.vaultsPerCube = 256;
@@ -155,7 +155,7 @@ TEST(Tesseract, SerdesTrafficOnlyBetweenCubes)
 TEST(Tesseract, EdgeAccountingConsistent)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::spmv, testGraph());
+        makeKernelSetup("spmv", testGraph());
     const TesseractResult result = runTesseract(setup);
     // SPMV touches each non-zero exactly once.
     EXPECT_EQ(result.edgesProcessed, setup.graph.numEdges);
@@ -165,7 +165,7 @@ TEST(Tesseract, EdgeAccountingConsistent)
 TEST(Tesseract, EnergyComponentsRespond)
 {
     const KernelSetup setup =
-        makeKernelSetup(Kernel::bfs, testGraph());
+        makeKernelSetup("bfs", testGraph());
     TesseractConfig config;
     const TesseractResult result = runTesseract(setup, config);
     TechParams tech;

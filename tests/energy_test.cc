@@ -58,7 +58,7 @@ sampleRun(MachineConfig& config)
     params.scale = 9;
     params.edgeFactor = 6;
     const Csr graph = rmatGraph(params);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     config.width = 4;
     config.height = 4;

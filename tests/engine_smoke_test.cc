@@ -38,7 +38,7 @@ smallMachine()
 TEST(EngineSmoke, BfsMatchesReference)
 {
     const Csr graph = smallGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     Machine machine(smallMachine(), setup.graph.numVertices,
                     setup.graph.numEdges);
@@ -50,7 +50,7 @@ TEST(EngineSmoke, BfsMatchesReference)
 TEST(EngineSmoke, SsspMatchesReference)
 {
     const Csr graph = smallGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::sssp, graph);
+    const KernelSetup setup = makeKernelSetup("sssp", graph);
     auto app = setup.makeApp();
     Machine machine(smallMachine(), setup.graph.numVertices,
                     setup.graph.numEdges);
@@ -61,7 +61,7 @@ TEST(EngineSmoke, SsspMatchesReference)
 TEST(EngineSmoke, WccMatchesReference)
 {
     const Csr graph = smallGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::wcc, graph);
+    const KernelSetup setup = makeKernelSetup("wcc", graph);
     auto app = setup.makeApp();
     Machine machine(smallMachine(), setup.graph.numVertices,
                     setup.graph.numEdges);
@@ -72,7 +72,7 @@ TEST(EngineSmoke, WccMatchesReference)
 TEST(EngineSmoke, SpmvMatchesReference)
 {
     const Csr graph = smallGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::spmv, graph);
+    const KernelSetup setup = makeKernelSetup("spmv", graph);
     auto app = setup.makeApp();
     Machine machine(smallMachine(), setup.graph.numVertices,
                     setup.graph.numEdges);
@@ -83,7 +83,7 @@ TEST(EngineSmoke, SpmvMatchesReference)
 TEST(EngineSmoke, PageRankMatchesReference)
 {
     const Csr graph = smallGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::pagerank, graph);
+    const KernelSetup setup = makeKernelSetup("pagerank", graph);
     auto app = setup.makeApp();
     Machine machine(smallMachine(), setup.graph.numVertices,
                     setup.graph.numEdges);

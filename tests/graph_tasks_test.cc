@@ -59,7 +59,7 @@ TEST(T1Splitting, ChunkBordersAndOqt2)
 {
     // Hub with 1000 edges across 4 tiles => edgesPerChunk = 250.
     const Csr graph = star(1000);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     QueueSizing sizing;
     sizing.oqt2 = 100; // forces OQT2 splits inside each chunk
@@ -106,7 +106,7 @@ TEST(T4Draining, NoDuplicateExploration)
     // total edges processed equals reachable edges, and T3 runs once
     // per edge.
     const Csr graph = star(500);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     MachineConfig config;
     config.width = 4;
@@ -124,7 +124,7 @@ TEST(T4Draining, TinyIq1StillDrainsEverything)
     params.scale = 8;
     params.edgeFactor = 5;
     const Csr graph = rmatGraph(params);
-    const KernelSetup setup = makeKernelSetup(Kernel::wcc, graph);
+    const KernelSetup setup = makeKernelSetup("wcc", graph);
     auto app = setup.makeApp();
     QueueSizing sizing;
     sizing.iq1 = 2; // brutal throttling of exploration
@@ -148,7 +148,7 @@ TEST(SyncBfs, WorkOptimalEdgeCount)
     params.scale = 10;
     params.edgeFactor = 8;
     const Csr graph = rmatGraph(params);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     MachineConfig config;
     config.width = 4;

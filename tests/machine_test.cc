@@ -40,7 +40,7 @@ config4x4()
 TEST(Machine, DeterministicRuns)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::sssp, graph);
+    const KernelSetup setup = makeKernelSetup("sssp", graph);
 
     auto run_once = [&] {
         auto app = setup.makeApp();
@@ -60,7 +60,7 @@ TEST(Machine, DeterministicRuns)
 TEST(Machine, MessageConservation)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     Machine machine(config4x4(), graph.numVertices, graph.numEdges);
     const RunStats stats = machine.run(*app);
@@ -73,7 +73,7 @@ TEST(Machine, MessageConservation)
 TEST(Machine, BarrierModeCountsEpochs)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     MachineConfig config = config4x4();
     config.barrier = true;
@@ -92,7 +92,7 @@ TEST(Machine, BarrierModeCountsEpochs)
 TEST(Machine, BarrierlessRunsOneEpoch)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     Machine machine(config4x4(), graph.numVertices, graph.numEdges);
     const RunStats stats = machine.run(*app);
@@ -102,7 +102,7 @@ TEST(Machine, BarrierlessRunsOneEpoch)
 TEST(Machine, SingleTileNeedsNoNetwork)
 {
     const Csr graph = testGraph(8);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     MachineConfig config;
     config.width = 1;
@@ -117,7 +117,7 @@ TEST(Machine, SingleTileNeedsNoNetwork)
 TEST(Machine, UtilizationBounded)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::spmv, graph);
+    const KernelSetup setup = makeKernelSetup("spmv", graph);
     auto app = setup.makeApp();
     Machine machine(config4x4(), graph.numVertices, graph.numEdges);
     const RunStats stats = machine.run(*app);
@@ -130,7 +130,7 @@ TEST(Machine, UtilizationBounded)
 TEST(Machine, ScratchpadFootprintReported)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     Machine machine(config4x4(), graph.numVertices, graph.numEdges);
     const RunStats stats = machine.run(*app);
@@ -148,7 +148,7 @@ TEST(Machine, ScratchpadFootprintReported)
 TEST(Machine, InvocationsSplitPerTask)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     Machine machine(config4x4(), graph.numVertices, graph.numEdges);
     const RunStats stats = machine.run(*app);
@@ -166,7 +166,7 @@ TEST(Machine, InvocationsSplitPerTask)
 TEST(Machine, InterruptOverheadSlowsRun)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
 
     auto cycles_with = [&](std::uint32_t overhead) {
         auto app = setup.makeApp();
@@ -183,7 +183,7 @@ TEST(Machine, InterruptOverheadSlowsRun)
 TEST(Machine, RunIsOneShot)
 {
     const Csr graph = testGraph(8);
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     Machine machine(config4x4(), graph.numVertices, graph.numEdges);
     machine.run(*app);
@@ -194,7 +194,7 @@ TEST(Machine, RunIsOneShot)
 TEST(Machine, MaxCyclesGuard)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::bfs, graph);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
     auto app = setup.makeApp();
     MachineConfig config = config4x4();
     config.maxCycles = 10; // far too small to finish
@@ -205,7 +205,7 @@ TEST(Machine, MaxCyclesGuard)
 TEST(Machine, NonSquareGridWorks)
 {
     const Csr graph = testGraph();
-    const KernelSetup setup = makeKernelSetup(Kernel::wcc, graph);
+    const KernelSetup setup = makeKernelSetup("wcc", graph);
     auto app = setup.makeApp();
     MachineConfig config;
     config.width = 8;

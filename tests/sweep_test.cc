@@ -31,7 +31,7 @@ Plan
 miniPlan()
 {
     Plan plan;
-    plan.kernels = {Kernel::bfs, Kernel::wcc};
+    plan.kernels = {kernelOrDie("bfs"), kernelOrDie("wcc")};
     plan.datasets = {{"", 8}};
     plan.grids = {{2, 2}, {4, 4}};
     plan.seed = 3;
@@ -62,12 +62,12 @@ TEST(Expand, CartesianProductInKernelMajorOrder)
     const ExpandResult result = expand(miniPlan());
     ASSERT_TRUE(result.ok) << result.error;
     ASSERT_EQ(result.points.size(), 4u);
-    EXPECT_EQ(result.points[0].kernel, Kernel::bfs);
+    EXPECT_EQ(result.points[0].kernel->name, "bfs");
     EXPECT_EQ(result.points[0].machine.width, 2u);
-    EXPECT_EQ(result.points[1].kernel, Kernel::bfs);
+    EXPECT_EQ(result.points[1].kernel->name, "bfs");
     EXPECT_EQ(result.points[1].machine.width, 4u);
-    EXPECT_EQ(result.points[2].kernel, Kernel::wcc);
-    EXPECT_EQ(result.points[3].kernel, Kernel::wcc);
+    EXPECT_EQ(result.points[2].kernel->name, "wcc");
+    EXPECT_EQ(result.points[3].kernel->name, "wcc");
     // The default baseline is the first grid shape.
     EXPECT_EQ(result.baseline, (GridShape{2, 2}));
 }
@@ -75,7 +75,8 @@ TEST(Expand, CartesianProductInKernelMajorOrder)
 TEST(Expand, DuplicateAxisPointsCollapse)
 {
     Plan plan = miniPlan();
-    plan.kernels = {Kernel::bfs, Kernel::bfs, Kernel::bfs};
+    plan.kernels = {kernelOrDie("bfs"), kernelOrDie("bfs"),
+                    kernelOrDie("bfs")};
     plan.grids = {{2, 2}, {4, 4}, {2, 2}};
     plan.datasets = {{"", 8}, {"", 8}};
     const ExpandResult result = expand(plan);
@@ -170,10 +171,11 @@ TEST(RunAggregate, DerivedColumnsAgainstBaseline)
 {
     const RunResult result = run(miniPlan(), 2);
     ASSERT_TRUE(result.ok) << result.error;
-    ASSERT_EQ(result.reports.size(), 4u);
+    const std::vector<cli::Report> reports = result.okReports();
+    ASSERT_EQ(reports.size(), 4u);
 
     const AggregateResult agg =
-        aggregate(result.reports, result.baseline);
+        aggregate(reports, result.baseline);
     ASSERT_TRUE(agg.ok) << agg.error;
     ASSERT_EQ(agg.rows.size(), 4u);
 
@@ -197,7 +199,7 @@ TEST(RunAggregate, ScaledDatasetVariantsGroupSeparately)
     // Two scales of the same named stand-in share a generated name
     // ("AZ"); grouping and labels must still keep them apart.
     Plan plan;
-    plan.kernels = {Kernel::bfs};
+    plan.kernels = {kernelOrDie("bfs")};
     plan.datasets = {{"amazon", 5}, {"amazon", 6}};
     plan.grids = {{1, 1}, {2, 2}};
     plan.seed = 3;
@@ -205,7 +207,7 @@ TEST(RunAggregate, ScaledDatasetVariantsGroupSeparately)
     const RunResult result = run(plan, 2);
     ASSERT_TRUE(result.ok) << result.error;
     const AggregateResult agg =
-        aggregate(result.reports, result.baseline);
+        aggregate(result.okReports(), result.baseline);
     ASSERT_TRUE(agg.ok) << agg.error;
     ASSERT_EQ(agg.rows.size(), 4u);
     // Each scale's 1x1 row is its own baseline with speedup 1.0.
@@ -226,7 +228,7 @@ TEST(RunAggregate, MissingBaselineErrorsOrSkips)
     const RunResult result = run(miniPlan(), 2);
     ASSERT_TRUE(result.ok) << result.error;
     std::vector<cli::Report> no_baseline;
-    for (const cli::Report& report : result.reports)
+    for (const cli::Report& report : result.okReports())
         if (report.options.machine.width != 2)
             no_baseline.push_back(report);
 
@@ -279,7 +281,7 @@ TEST(Renderers, JsonlHasOneObjectPerRowAndSharedSchema)
     const RunResult result = run(miniPlan(), 2);
     ASSERT_TRUE(result.ok) << result.error;
     const AggregateResult agg =
-        aggregate(result.reports, result.baseline);
+        aggregate(result.okReports(), result.baseline);
     ASSERT_TRUE(agg.ok) << agg.error;
 
     const std::string jsonl = toJsonl(agg.rows);
@@ -403,7 +405,8 @@ TEST(SweepParse, RepeatedAxisFlagsAppendConsistently)
               (std::vector<NocTopology>{NocTopology::mesh,
                                         NocTopology::torus}));
     EXPECT_EQ(plan.kernels,
-              (std::vector<Kernel>{Kernel::bfs, Kernel::wcc}));
+              (std::vector<const KernelInfo*>{kernelOrDie("bfs"),
+                                              kernelOrDie("wcc")}));
     EXPECT_EQ(plan.policies,
               (std::vector<SchedPolicy>{SchedPolicy::roundRobin,
                                         SchedPolicy::trafficAware}));
