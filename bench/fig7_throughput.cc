@@ -42,7 +42,7 @@ main(int argc, char** argv)
     plan.grids = {{16, 16}, {32, 32}};
     plan.seed = opts.seed;
     plan.validate = true; // as the old loop: every run checked
-    plan.pagerankIterations = 5; // bench budget
+    plan.params.push_back({"iterations", 5}); // bench budget
     plan.scratchpadProvisionBytes = figProvisionBytes();
 
     std::vector<cli::Report> reports;

@@ -43,7 +43,7 @@ main(int argc, char** argv)
     plan.grids = {{16, 16}};
     plan.seed = opts.seed;
     plan.validate = true; // as the old loop: every run checked
-    plan.pagerankIterations = 5; // bench budget
+    plan.params.push_back({"iterations", 5}); // bench budget
     plan.scratchpadProvisionBytes = figProvisionBytes();
 
     // ...plus the large-grid RMAT-26 stand-in (ruche above 32x32).

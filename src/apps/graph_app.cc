@@ -36,7 +36,7 @@ GraphAppBase::configure(Machine& machine)
              "kernel needs edge values but the graph has none");
 
     for (TileId t = 0; t < machine.numTiles(); ++t) {
-        auto st = std::make_unique<GraphTileState>();
+        std::unique_ptr<GraphTileState> st = makeTileState();
         st->rowBegin.assign(npc, 0);
         st->rowEnd.assign(npc, 0);
         st->value.assign(npc, 0);
@@ -121,7 +121,7 @@ GraphAppBase::configure(Machine& machine)
     cq1.name = "CQ1";
     cq1.numWords = 3;
     cq1.targetTask = kT2;
-    cq1.encode = HeadEncode::edge;
+    cq1.encode = cq1Encode();
     cq1.cqCapacity = sizing_.cq1;
     machine.addChannel(std::move(cq1));
 

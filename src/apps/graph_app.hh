@@ -9,6 +9,7 @@
 #define DALOREX_APPS_GRAPH_APP_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "apps/graph_state.hh"
@@ -61,6 +62,23 @@ class GraphAppBase : public App
      * vertex-keyed update per explored vertex override this to CQ2.
      */
     virtual ChannelId t1OutChannel() const { return kCq1; }
+    /**
+     * CQ1 head-flit encoding: edge-encoded for the edge-walking
+     * kernels; kernels whose T2 operates on vertex-owned state
+     * (triangle counting's neighborhood intersection) override this
+     * to HeadEncode::vertex.
+     */
+    virtual HeadEncode cq1Encode() const { return HeadEncode::edge; }
+    /**
+     * Per-tile state factory: kernels carrying extra chunk arrays
+     * (triangle counting's oriented adjacency) return a GraphTileState
+     * subclass; the base arrays are filled by configure() either way.
+     */
+    virtual std::unique_ptr<GraphTileState>
+    makeTileState() const
+    {
+        return std::make_unique<GraphTileState>();
+    }
     /** Whether edge values are stored (SSSP weights, SPMV values). */
     virtual bool usesWeights() const = 0;
     /** Whether the aux vertex array exists (PR contribution, x). */

@@ -107,7 +107,7 @@ histogramKernelInfo()
     info.aliases = {"degree-histogram", "deghist"};
     info.summary = "degree histogram: one-pass barrierless "
                    "scatter-reduce of per-vertex degree counts";
-    info.tags = {"extra"};
+    info.tags = {"extra", "fig5-extra"};
     info.order = 70;
     info.factory = [](const KernelSetup& setup) {
         return std::make_unique<DegreeHistogramApp>(setup.graph);

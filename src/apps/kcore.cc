@@ -185,7 +185,7 @@ kcoreKernelInfo()
     info.aliases = {"k-core", "coreness"};
     info.summary = "k-core decomposition: per-vertex coreness by "
                    "level-synchronous peeling (epoch barrier)";
-    info.tags = {"extra"};
+    info.tags = {"extra", "fig5-extra"};
     info.order = 60;
     info.traits.symmetrize = true;
     info.traits.needsBarrier = true;

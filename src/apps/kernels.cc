@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "apps/graph_app.hh"
@@ -53,6 +54,75 @@ makeKernelSetup(const std::string& kernel, const Csr& base,
                 std::uint64_t seed)
 {
     return makeKernelSetup(*kernelOrDie(kernel), base, seed);
+}
+
+bool
+parseParamOverrides(const std::string& text,
+                    std::vector<ParamOverride>& out, std::string& err)
+{
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        start = comma == std::string::npos ? text.size() + 1
+                                           : comma + 1;
+        const std::size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size()) {
+            err = "--param wants NAME=VALUE[,NAME=VALUE...], got: " +
+                  (item.empty() ? text : item);
+            return false;
+        }
+        ParamOverride param;
+        param.name = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        char* end = nullptr;
+        param.value = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size()) {
+            err = "--param " + param.name +
+                  " wants a number, got: " + value;
+            return false;
+        }
+        if (param.name == "damping") {
+            if (!(param.value > 0.0 && param.value < 1.0)) {
+                err = "--param damping must be in (0, 1), got: " +
+                      value;
+                return false;
+            }
+        } else if (param.name == "iterations") {
+            if (param.value < 1.0 || param.value > 1000.0 ||
+                param.value != std::floor(param.value)) {
+                err = "--param iterations must be an integer in "
+                      "[1, 1000], got: " + value;
+                return false;
+            }
+        } else {
+            err = "unknown --param key: " + param.name +
+                  " (damping|iterations)";
+            return false;
+        }
+        out.push_back(std::move(param));
+    }
+    return true;
+}
+
+void
+applyParamOverrides(KernelSetup& setup,
+                    const std::vector<ParamOverride>& params)
+{
+    panic_if(setup.kernel == nullptr, "KernelSetup has no kernel");
+    const KernelDefaults& defaults = setup.kernel->defaults;
+    for (const ParamOverride& param : params) {
+        if (param.name == "damping" && defaults.usesDamping)
+            setup.damping = param.value;
+        else if (param.name == "iterations" && defaults.usesIterations)
+            setup.iterations = static_cast<unsigned>(param.value);
+        // Keys the kernel declares unused are skipped so one --param
+        // list can span a multi-kernel sweep.
+    }
 }
 
 std::unique_ptr<GraphAppBase>

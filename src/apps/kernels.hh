@@ -74,6 +74,26 @@ KernelSetup makeKernelSetup(const std::string& kernel, const Csr& base,
 VertexId pickRoot(const Csr& graph);
 
 /**
+ * Parse a `--param` value ("damping=0.9,iterations=20") into
+ * overrides. Unknown keys, malformed numbers and out-of-range values
+ * (damping in (0, 1), iterations in [1, 1000]) yield false with a
+ * one-line diagnostic — the key set is validated here, once, instead
+ * of per scenario point.
+ */
+bool parseParamOverrides(const std::string& text,
+                         std::vector<ParamOverride>& out,
+                         std::string& err);
+
+/**
+ * Apply overrides to a setup per its kernel's KernelDefaults: keys
+ * the kernel declares unused are skipped, so one override list can
+ * span every kernel of a sweep (PageRank takes damping/iterations,
+ * BFS takes neither).
+ */
+void applyParamOverrides(KernelSetup& setup,
+                         const std::vector<ParamOverride>& params);
+
+/**
  * Check a finished run's per-vertex words against the setup's
  * sequential reference (the kernel's validator; exact equality by
  * default). Returns the mismatch as data instead of fatal()ing, so a

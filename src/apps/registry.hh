@@ -104,9 +104,21 @@ struct KernelDefaults
     double damping = 0.85;    //!< PageRank damping factor d
     unsigned iterations = 10; //!< synchronous epoch budget
     /** Whether damping/iterations are meaningful for this kernel
-     *  (drives --list-kernels and the --pagerank-iters override). */
+     *  (drives --list-kernels and which --param keys apply). */
     bool usesDamping = false;
     bool usesIterations = false;
+};
+
+/**
+ * One `--param name=value` override (CLI and sweep). The key set is
+ * the KernelDefaults fields ("damping", "iterations"); overrides for
+ * keys a kernel declares unused are ignored, so one --param can span
+ * a multi-kernel sweep. Parsed and applied in apps/kernels.hh.
+ */
+struct ParamOverride
+{
+    std::string name; //!< lowercase KernelDefaults field name
+    double value = 0.0;
 };
 
 /** One self-describing kernel of the library. */

@@ -1,0 +1,252 @@
+#include "apps/triangle.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/kernels.hh"
+#include "common/logging.hh"
+
+namespace dalorex
+{
+
+namespace
+{
+
+/** Degree-then-id orientation: does `a` rank strictly before `b`? */
+bool
+ranksBefore(const Csr& graph, VertexId a, VertexId b)
+{
+    const EdgeId da = graph.degree(a);
+    const EdgeId db = graph.degree(b);
+    return da < db || (da == db && a < b);
+}
+
+/** N+(u): the id-sorted neighbors of u ranking strictly after u. */
+std::vector<Word>
+orientedNeighbors(const Csr& graph, VertexId u)
+{
+    std::vector<Word> out;
+    for (EdgeId e = graph.rowPtr[u]; e < graph.rowPtr[u + 1]; ++e) {
+        const VertexId v = graph.colIdx[e];
+        if (ranksBefore(graph, u, v))
+            out.push_back(v);
+    }
+    return out; // colIdx is id-sorted, so the filtered list is too
+}
+
+/**
+ * T1: pop one vertex u from IQ1 and stream one wedge-check message
+ * per rank-ordered pair (v, w) from N+(u): the owner of the middle
+ * vertex v is asked whether w completes the triangle. Self-throttles
+ * on CQ1 with the (i, j) pair registers, resuming mid-enumeration on
+ * the next invocation (Listing 1's T1 pattern).
+ */
+void
+triangleWedgeBody(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<TriangleTileState>(tile);
+
+    const Word local_v = ctx.peek()[0];
+    ctx.read(); // peek(IQ1.head) via the queue register
+    const Word begin = st.adjOff[local_v];
+    const Word end = st.adjOff[local_v + 1];
+    const Word n = end - begin;
+    ctx.read(2);
+
+    if (st.t1Fresh) {
+        st.t1I = 0;
+        st.t1J = 1;
+        st.t1Fresh = false;
+        ctx.charge(1);
+    }
+    Word i = st.t1I;
+    Word j = st.t1J;
+    while (i + 1 < n && ctx.cqFree(kCq1) > 0) {
+        const Word a = st.adj[begin + i];
+        const Word b = st.adj[begin + j];
+        const Word deg_a = st.adjDeg[begin + i];
+        const Word deg_b = st.adjDeg[begin + j];
+        ctx.read(4);
+        // Rank-order the pair: the middle vertex v owns the check.
+        const bool a_first = deg_a < deg_b || (deg_a == deg_b && a < b);
+        const Word v = a_first ? a : b;
+        const Word w = a_first ? b : a;
+        ctx.charge(2); // rank compare + select
+        ctx.send(kCq1, v, {w, 0});
+        // One wedge check is this kernel's unit of processed work.
+        ctx.countEdges(1);
+        ++j;
+        if (j >= n) {
+            ++i;
+            j = i + 1;
+        }
+        ctx.charge(1); // loop bookkeeping
+    }
+    st.t1I = i;
+    st.t1J = j;
+    ctx.charge(1);
+    if (i + 1 >= n) {
+        st.t1Fresh = true;
+        ctx.pop(); // every pair emitted: release the vertex
+    }
+}
+
+/**
+ * T2: the neighborhood-intersection step at the middle vertex's
+ * owner — binary-search w in the locally stored N+(v); a hit means
+ * the wedge closes into a triangle, counted at v.
+ */
+void
+triangleIntersectBody(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    auto& st = machine.state<TriangleTileState>(tile);
+    const Word local_v = ctx.param(0);
+    const Word w = ctx.param(1);
+
+    Word lo = st.adjOff[local_v];
+    Word hi = st.adjOff[local_v + 1];
+    ctx.read(2);
+    bool found = false;
+    while (lo < hi) {
+        const Word mid = lo + (hi - lo) / 2;
+        const Word entry = st.adj[mid];
+        ctx.read();
+        ctx.charge(1); // compare + halve
+        if (entry == w) {
+            found = true;
+            break;
+        }
+        if (entry < w)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (found) {
+        st.value[local_v] += 1;
+        ctx.read();
+        ctx.write();
+        ctx.charge(1);
+    }
+}
+
+/** T3 is structurally present but fed by nothing: T2 counts locally. */
+void
+triangleUnusedBody(Machine& machine, Tile& tile, TaskCtx& ctx)
+{
+    (void)machine;
+    (void)tile;
+    (void)ctx;
+    panic("triangle T3 invoked: no task writes CQ2");
+}
+
+} // namespace
+
+TriangleApp::TriangleApp(const Csr& graph) : GraphAppBase(graph)
+{
+}
+
+KernelTaskSet
+TriangleApp::tasks() const
+{
+    // T4 (frontier drain) is the generic body; T1/T2 are the wedge
+    // generator and the intersection probe.
+    KernelTaskSet set = spmvTasks();
+    set.t1 = &triangleWedgeBody;
+    set.t2 = &triangleIntersectBody;
+    set.t3 = &triangleUnusedBody;
+    return set;
+}
+
+std::unique_ptr<GraphTileState>
+TriangleApp::makeTileState() const
+{
+    return std::make_unique<TriangleTileState>();
+}
+
+void
+TriangleApp::initTile(Machine& machine, TileId tile,
+                      GraphTileState& base)
+{
+    auto& st = static_cast<TriangleTileState&>(base);
+    const Partition& part = machine.partition();
+
+    st.adjOff.assign(st.owned + 1, 0);
+    for (std::uint32_t l = 0; l < st.owned; ++l) {
+        const VertexId u = part.vertexGlobal(tile, l);
+        for (const Word v : orientedNeighbors(graph_, u)) {
+            st.adj.push_back(v);
+            st.adjDeg.push_back(
+                static_cast<Word>(graph_.degree(v)));
+        }
+        st.adjOff[l + 1] = static_cast<Word>(st.adj.size());
+    }
+    // The oriented adjacency is extra chunk data beyond the base CSR
+    // arrays; account it toward the tile's scratchpad footprint.
+    machine.addDataWords(tile, st.adjOff.size() + st.adj.size() +
+                                   st.adjDeg.size());
+}
+
+void
+TriangleApp::start(Machine& machine)
+{
+    // Every vertex generates its wedges exactly once: one full
+    // frontier pass, barrierless.
+    seedFullFrontier(machine);
+}
+
+std::vector<Word>
+referenceTriangles(const Csr& graph)
+{
+    std::vector<std::vector<Word>> oriented(graph.numVertices);
+    for (VertexId u = 0; u < graph.numVertices; ++u)
+        oriented[u] = orientedNeighbors(graph, u);
+
+    std::vector<Word> counts(graph.numVertices, 0);
+    for (VertexId u = 0; u < graph.numVertices; ++u) {
+        const std::vector<Word>& plus = oriented[u];
+        for (std::size_t i = 0; i + 1 < plus.size(); ++i) {
+            for (std::size_t j = i + 1; j < plus.size(); ++j) {
+                const Word a = plus[i];
+                const Word b = plus[j];
+                const bool a_first = ranksBefore(graph, a, b);
+                const Word v = a_first ? a : b;
+                const Word w = a_first ? b : a;
+                const std::vector<Word>& nv = oriented[v];
+                if (std::binary_search(nv.begin(), nv.end(), w))
+                    counts[v] += 1;
+            }
+        }
+    }
+    return counts;
+}
+
+namespace
+{
+
+KernelInfo
+triangleKernelInfo()
+{
+    KernelInfo info;
+    info.name = "triangle";
+    info.display = "Triangles";
+    info.aliases = {"tc", "triangles", "triangle-count"};
+    info.summary = "triangle counting: rank-oriented wedge checks "
+                   "with neighborhood-intersection probes at the "
+                   "middle vertex";
+    info.tags = {"extra"};
+    info.order = 80;
+    info.traits.symmetrize = true;
+    info.factory = [](const KernelSetup& setup) {
+        return std::make_unique<TriangleApp>(setup.graph);
+    };
+    info.referenceWords = [](const KernelSetup& setup) {
+        return referenceTriangles(setup.graph);
+    };
+    return info;
+}
+
+} // namespace
+
+DALOREX_REGISTER_KERNEL(triangleKernelInfo)
+
+} // namespace dalorex

@@ -127,6 +127,7 @@ parseArgs(int argc, const char* const* argv)
             "--topology",     "--ruche-factor", "--policy",
             "--distribution", "--scale",        "--dataset",
             "--seed",         "--invoke-overhead", "--max-cycles",
+            "--engine-threads", "--param",      "--pagerank-iters",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -185,6 +186,24 @@ parseArgs(int argc, const char* const* argv)
                 return fail("--max-cycles must be a cycle count, got " +
                             value);
             o.machine.maxCycles = v;
+        } else if (flag == "--engine-threads") {
+            std::uint32_t threads = 0;
+            if (!parseU32(value, 1, 256, threads))
+                return fail("--engine-threads must be in [1, 256], "
+                            "got " + value);
+            o.machine.engineThreads = threads;
+        } else if (flag == "--param") {
+            std::string err;
+            if (!parseParamOverrides(value, o.params, err))
+                return fail(err);
+        } else if (flag == "--pagerank-iters") {
+            // Deprecated alias for --param iterations=N.
+            std::uint32_t iters = 0;
+            if (!parseU32(value, 1, 1000, iters))
+                return fail("--pagerank-iters must be in [1, 1000], "
+                            "got " + value);
+            o.params.push_back(
+                {"iterations", static_cast<double>(iters)});
         } else if (flag == "--scale") {
             std::uint32_t v = 0;
             if (!parseU32(value, 4, 26, v))
@@ -256,6 +275,18 @@ usageText()
         "  --barrier            force epoch-synchronized execution\n"
         "  --invoke-overhead N  extra cycles per task invocation\n"
         "  --max-cycles N       hard cycle limit (0 = none)\n"
+        "\n"
+        "execution (simulator only; never changes results):\n"
+        "  --engine-threads N   engine worker threads [1, 256]\n"
+        "                       (default 1; stats are byte-identical\n"
+        "                       for every N)\n"
+        "\n"
+        "kernel parameters:\n"
+        "  --param K=V,...      override kernel defaults, e.g.\n"
+        "                       damping=0.9,iterations=20; keys a\n"
+        "                       kernel does not use are skipped\n"
+        "  --pagerank-iters N   deprecated alias for\n"
+        "                       --param iterations=N\n"
         "\n"
         "output:\n"
         "  --json               emit one JSON object instead of text\n"
@@ -377,8 +408,7 @@ runScenario(const Options& options)
 
     KernelSetup setup =
         makeKernelSetup(*options.kernel, base, options.seed);
-    if (options.pagerankIterations > 0)
-        setup.iterations = options.pagerankIterations;
+    applyParamOverrides(setup, options.params);
     report.numVertices = setup.graph.numVertices;
     report.numEdges = setup.graph.numEdges;
 
@@ -428,7 +458,9 @@ renderJson(const Report& report)
         << "\","
         << "\"barrier\":" << (o.machine.barrier ? "true" : "false")
         << ","
-        << "\"invoke_overhead\":" << o.machine.invokeOverhead << "},";
+        << "\"invoke_overhead\":" << o.machine.invokeOverhead << ","
+        << "\"engine_threads\":"
+        << std::max(1u, o.machine.engineThreads) << "},";
     out << "\"stats\":{"
         << "\"cycles\":" << s.cycles << ","
         << "\"epochs\":" << s.epochs << ","

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "apps/kernels.hh"
 #include "energy/model.hh"
@@ -38,9 +39,11 @@ struct Options
     /** Vertex-scale override for named stand-ins (0 = native size);
      *  set by the sweep layer's quick/full and NAME@SCALE specs. */
     unsigned datasetScale = 0;
-    /** PageRank epoch override (0 = the kernel default of 10); the
-     *  figure benches cap it at 5 for run-time budget. */
-    unsigned pagerankIterations = 0;
+    /** Kernel parameter overrides (`--param damping=0.9,...`),
+     *  applied through each kernel's KernelDefaults; keys a kernel
+     *  declares unused are skipped. `--pagerank-iters N` survives as
+     *  a deprecated alias for iterations=N. */
+    std::vector<ParamOverride> params;
     std::uint64_t seed = 1;   //!< dataset/weight seed
     bool json = false;        //!< emit JSON instead of text
     bool validate = false;    //!< check against sequential reference

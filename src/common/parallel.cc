@@ -1,0 +1,98 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+
+namespace dalorex
+{
+
+void
+runIndexed(std::size_t n, unsigned threads,
+           const std::function<void(std::size_t)>& job)
+{
+    const std::size_t workers =
+        std::min<std::size_t>(std::max(1u, threads), n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            job(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1))
+            job(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w)
+        pool.emplace_back(drain);
+    drain(); // the calling thread is worker 0
+    for (std::thread& t : pool)
+        t.join();
+}
+
+unsigned
+defaultWorkerThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+WorkerCrew::WorkerCrew(unsigned members)
+    : members_(std::max(1u, members))
+{
+    threads_.reserve(members_ - 1);
+    for (unsigned m = 1; m < members_; ++m)
+        threads_.emplace_back([this, m] { workerLoop(m); });
+}
+
+WorkerCrew::~WorkerCrew()
+{
+    stop_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    generation_.notify_all();
+    for (std::thread& t : threads_)
+        t.join();
+}
+
+void
+WorkerCrew::runPhase(const std::function<void(unsigned)>& fn)
+{
+    if (members_ == 1) {
+        fn(0);
+        return;
+    }
+    phase_ = &fn;
+    remaining_.store(members_, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    generation_.notify_all();
+
+    fn(0); // the calling thread is member 0
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) > 1) {
+        // Wait for the stragglers; the last one notifies.
+        unsigned left = remaining_.load(std::memory_order_acquire);
+        while (left != 0) {
+            remaining_.wait(left, std::memory_order_acquire);
+            left = remaining_.load(std::memory_order_acquire);
+        }
+    }
+    phase_ = nullptr;
+}
+
+void
+WorkerCrew::workerLoop(unsigned member)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        generation_.wait(seen, std::memory_order_acquire);
+        seen = generation_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        (*phase_)(member);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            remaining_.notify_all();
+    }
+}
+
+} // namespace dalorex

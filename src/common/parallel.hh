@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared worker-thread machinery: a one-shot indexed pool for
+ * embarrassingly parallel index spaces (the sweep orchestrator) and a
+ * persistent phase crew for the cycle engine.
+ *
+ * Both live below src/sim and src/sweep so the simulation engine and
+ * the sweep layer draw workers from one abstraction — `--threads N`
+ * on a sweep splits into `--engine-threads` per engine times
+ * N / engine-threads sweep workers, all built on this file.
+ */
+
+#ifndef DALOREX_COMMON_PARALLEL_HH
+#define DALOREX_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace dalorex
+{
+
+/**
+ * Invoke `job(i)` for every i in [0, n) on up to `threads` workers.
+ * Workers pull indices from a shared atomic counter and each invokes
+ * the job on its own stack; results written into pre-sized slot `i`
+ * are identical regardless of the thread count or scheduling order.
+ * threads <= 1 (or n <= 1) runs inline on the calling thread. Blocks
+ * until all jobs finish.
+ */
+void runIndexed(std::size_t n, unsigned threads,
+                const std::function<void(std::size_t)>& job);
+
+/** The host core count (>= 1): the default worker-pool size. */
+unsigned defaultWorkerThreads();
+
+/**
+ * A persistent crew of workers executing one phase at a time.
+ *
+ * The owner repeatedly calls runPhase(fn); every member — the calling
+ * thread is member 0 — runs fn(memberIndex) exactly once, and
+ * runPhase returns after the last member finishes. Workers block on
+ * C++20 atomic waits between phases, so an idle crew costs nothing
+ * but memory.
+ *
+ * The cycle engine uses one crew per Machine::run: each member owns
+ * one tile/router shard, and the per-cycle compute phases run as crew
+ * phases with the serial commit in between on the caller.
+ */
+class WorkerCrew
+{
+  public:
+    /** A crew of `members` (1 = no threads; runPhase runs inline). */
+    explicit WorkerCrew(unsigned members);
+    ~WorkerCrew();
+
+    WorkerCrew(const WorkerCrew&) = delete;
+    WorkerCrew& operator=(const WorkerCrew&) = delete;
+
+    unsigned members() const { return members_; }
+
+    /** Run fn(member) on every member; blocks until all finish. */
+    void runPhase(const std::function<void(unsigned)>& fn);
+
+  private:
+    void workerLoop(unsigned member);
+
+    unsigned members_ = 1;
+    std::vector<std::thread> threads_;
+    const std::function<void(unsigned)>* phase_ = nullptr;
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<unsigned> remaining_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace dalorex
+
+#endif // DALOREX_COMMON_PARALLEL_HH

@@ -7,6 +7,11 @@
 namespace dalorex
 {
 
+namespace
+{
+constexpr Cycle neverCycle = ~Cycle(0);
+} // namespace
+
 Network::Network(const NocConfig& config, DeliverFn deliver,
                  InjectSpaceFn on_inject_space)
     : config_(config),
@@ -29,6 +34,18 @@ Network::Network(const NocConfig& config, DeliverFn deliver,
     routers_.resize(topo_.numTiles());
     routerActive_.assign(topo_.numTiles(), 0);
     routerActiveUntil_.assign(topo_.numTiles(), 0);
+
+    // One arena allocation backs every (router, port, channel) ring
+    // buffer — no per-buffer heap blocks on the hot path.
+    unsigned active_ports = 0;
+    for (unsigned p = 0; p < numPorts; ++p) {
+        if (topo_.portActive(static_cast<Port>(p)))
+            ++active_ports;
+    }
+    bufferArena_.resize(std::size_t(topo_.numTiles()) * active_ports *
+                        config_.numChannels * config_.bufferSlots);
+    std::size_t arena_next = 0;
+
     for (TileId r = 0; r < routers_.size(); ++r) {
         Router& router = routers_[r];
         for (unsigned p = 0; p < numPorts; ++p) {
@@ -39,9 +56,29 @@ Network::Network(const NocConfig& config, DeliverFn deliver,
                 router.neighborId[p] = r;
             if (!topo_.portActive(port))
                 continue;
-            for (unsigned c = 0; c < config_.numChannels; ++c)
-                router.buffers[p][c].slots.resize(config_.bufferSlots);
+            for (unsigned c = 0; c < config_.numChannels; ++c) {
+                Fifo& fifo = router.buffers[p][c];
+                fifo.slots = &bufferArena_[arena_next];
+                fifo.capacity = config_.bufferSlots;
+                arena_next += config_.bufferSlots;
+            }
         }
+    }
+    setNumShards(1);
+}
+
+void
+Network::setNumShards(unsigned shards)
+{
+    const auto tiles = static_cast<TileId>(topo_.numTiles());
+    const unsigned n =
+        std::max(1u, std::min<unsigned>(shards, tiles));
+    shards_.assign(n, Shard{});
+    for (unsigned s = 0; s < n; ++s) {
+        shards_[s].beginRouter =
+            static_cast<TileId>(std::uint64_t(tiles) * s / n);
+        shards_[s].endRouter =
+            static_cast<TileId>(std::uint64_t(tiles) * (s + 1) / n);
     }
 }
 
@@ -68,7 +105,8 @@ Network::markActive(TileId router, Cycle now, unsigned len)
 }
 
 InjectResult
-Network::tryInject(const Message& msg, TileId src, Cycle now)
+Network::tryInject(const Message& msg, TileId src, Cycle now,
+                   unsigned shard)
 {
     panic_if(msg.channel >= config_.numChannels,
              "inject on unconfigured channel ", int(msg.channel));
@@ -94,25 +132,31 @@ Network::tryInject(const Message& msg, TileId src, Cycle now)
         std::uint64_t(1) << (portLocal * config_.numChannels +
                              msg.channel);
     router.injectFreeAt = now + msg.numWords;
-    ++inFlight_;
-    ++stats_.messagesInjected;
+    router.wakeAt = 0;
+    inFlight_.fetch_add(1, std::memory_order_relaxed);
+    ++shards_[shard].stats.messagesInjected;
     markActive(src, now, msg.numWords);
     return InjectResult::ok;
 }
 
 bool
 Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
-                 Cycle now)
+                 Cycle now, Shard& shard, Cycle& retryAt)
 {
     Router& router = routers_[router_id];
     Fifo& fifo = router.buffers[in_port][channel];
     InFlight& entry = fifo.front();
-    if (entry.arrival >= now)
-        return false; // arrived this cycle; moves next cycle
+    if (entry.arrival >= now) {
+        // Arrived this cycle; can move next cycle at the earliest.
+        retryAt = std::min(retryAt, entry.arrival + 1);
+        return false;
+    }
 
     const Port out_port = entry.outPort;
-    if (router.linkFreeAt[out_port] > now)
+    if (router.linkFreeAt[out_port] > now) {
+        retryAt = std::min(retryAt, router.linkFreeAt[out_port]);
         return false;
+    }
 
     const Message& msg = entry.msg;
     const unsigned len = msg.numWords;
@@ -121,30 +165,23 @@ Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
         std::uint64_t(1) << (in_port * config_.numChannels + channel);
 
     if (out_port == portLocal) {
-        // Arrived: offer to the TSU; it may refuse (IQ full).
+        // Arrived: offer to the TSU; it may refuse (IQ full). The
+        // delivery mutates only this router's own tile, so it is
+        // shard-local and applied during compute.
         if (!deliver_(msg)) {
-            ++stats_.deliveryStalls;
+            ++shard.stats.deliveryStalls;
             // Sleep until the engine frees IQ space (wakeRouter).
             router.blocked |= pair_bit;
+            router.waiters[portLocal * config_.numChannels +
+                           channel] |= pair_bit;
             return false;
         }
         router.linkFreeAt[portLocal] = now + len;
-        stats_.routerPassages += len;
-        ++stats_.messagesDelivered;
-        --inFlight_;
+        shard.stats.routerPassages += len;
+        ++shard.stats.messagesDelivered;
+        inFlight_.fetch_sub(1, std::memory_order_relaxed);
         markActive(router_id, now, len);
-        fifo.pop();
-        if (fifo.empty())
-            router.occupancy &= ~pair_bit;
-        // A slot freed here: wake the upstream router feeding this
-        // buffer (its head may have been asleep on us being full).
-        if (in_port != portLocal) {
-            routers_[router.neighborId[in_port]].blocked = 0;
-        } else if (router.injectBlocked & (std::uint8_t(1) << channel)) {
-            router.injectBlocked &= ~(std::uint8_t(1) << channel);
-            if (onInjectSpace_)
-                onInjectSpace_(router_id, channel);
-        }
+        shard.pops.push_back({router_id, in_port, channel});
         return true;
     }
 
@@ -154,52 +191,53 @@ Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
     Fifo& dst = next.buffers[next_in][channel];
 
     // Bubble rule: entering a torus ring must leave one slot free.
+    // `dst.count` is start-of-cycle exact: pops are deferred to the
+    // commit and this link is the buffer's only pusher (and the link
+    // serialization above keeps it to one push per cycle).
     if (dst.free() < entry.needSlots) {
-        // Sleep until a pop on the downstream buffer wakes us.
+        // Sleep until a pop on that downstream buffer wakes us.
         router.blocked |= pair_bit;
+        router.waiters[out_port * config_.numChannels + channel] |=
+            pair_bit;
         return false;
     }
 
-    InFlight forwarded{msg, now, portLocal, 1};
-    routeInto(next_id, next_in, forwarded);
-    dst.push(forwarded);
-    next.occupancy |= std::uint64_t(1)
-                      << (next_in * config_.numChannels + channel);
+    StagedPush forwarded{next_id, next_in, {msg, now, portLocal, 1}};
+    routeInto(next_id, next_in, forwarded.entry);
+    shard.pushes.push_back(forwarded);
     router.linkFreeAt[out_port] = now + len;
-    stats_.flitHops += len;
-    stats_.flitWireTiles +=
+    shard.stats.flitHops += len;
+    shard.stats.flitWireTiles +=
         std::uint64_t(len) * topo_.hopWireTiles(out_port);
-    stats_.routerPassages += len;
+    shard.stats.routerPassages += len;
     markActive(router_id, now, len);
-    fifo.pop();
-    if (fifo.empty())
-        router.occupancy &= ~pair_bit;
-    // This buffer freed a slot: wake whoever feeds it — the upstream
-    // router, or the tile's own injection port.
-    if (in_port != portLocal) {
-        routers_[router.neighborId[in_port]].blocked = 0;
-    } else if (router.injectBlocked & (std::uint8_t(1) << channel)) {
-        router.injectBlocked &= ~(std::uint8_t(1) << channel);
-        if (onInjectSpace_)
-            onInjectSpace_(router_id, channel);
-    }
+    shard.pops.push_back({router_id, in_port, channel});
     return true;
 }
 
 void
-Network::step(Cycle now)
+Network::stepCompute(unsigned shard_index, Cycle now)
 {
-    if (inFlight_ == 0)
-        return;
-
+    Shard& shard = shards_[shard_index];
     const unsigned channels = config_.numChannels;
     const unsigned pairs = numPorts * channels;
 
-    for (TileId r = 0; r < routers_.size(); ++r) {
+    for (TileId r = shard.beginRouter; r < shard.endRouter; ++r) {
         Router& router = routers_[r];
-        std::uint64_t pending = router.occupancy & ~router.blocked;
-        if (pending == 0)
+        const std::uint64_t pending =
+            router.occupancy & ~router.blocked;
+        if (pending == 0 || router.wakeAt > now)
             continue;
+        if (now >= router.deferUntil) {
+            // The earliest timed defer matured: rescan the whole set.
+            router.deferMask = 0;
+            router.deferUntil = neverCycle;
+        }
+        const std::uint64_t scannable = pending & ~router.deferMask;
+        if (scannable == 0) {
+            router.wakeAt = router.deferUntil;
+            continue;
+        }
         // Round-robin arbitration: rotate the scan starting point so no
         // (port, channel) pair gets static priority.
         const unsigned shift =
@@ -209,7 +247,9 @@ Network::step(Cycle now)
                                        : ((std::uint64_t(1) << pairs) -
                                           1);
         std::uint64_t rotated =
-            ((pending >> shift) | (pending << (pairs - shift))) & mask;
+            ((scannable >> shift) | (scannable << (pairs - shift))) &
+            mask;
+        bool moved = false;
         while (rotated != 0) {
             const unsigned bit =
                 static_cast<unsigned>(std::countr_zero(rotated));
@@ -218,9 +258,96 @@ Network::step(Cycle now)
             const auto in_port = static_cast<Port>(pair / channels);
             const auto channel =
                 static_cast<ChannelId>(pair % channels);
-            tryMove(r, in_port, channel, now);
+            Cycle retry_at = neverCycle;
+            if (tryMove(r, in_port, channel, now, shard, retry_at)) {
+                moved = true;
+            } else if (retry_at != neverCycle) {
+                router.deferMask |= std::uint64_t(1) << pair;
+                router.deferUntil =
+                    std::min(router.deferUntil, retry_at);
+            }
         }
+        // A move leaves successor heads (and freshly freed links)
+        // worth rescanning next cycle; otherwise sleep until the
+        // earliest timed retry. Event-driven sleepers (`blocked`)
+        // re-arm wakeAt through their wake.
+        router.wakeAt = moved ? now + 1 : router.deferUntil;
     }
+}
+
+void
+Network::stepCommit(Cycle)
+{
+    const unsigned channels = config_.numChannels;
+    for (Shard& shard : shards_) {
+        for (const StagedPop& pop : shard.pops) {
+            Router& router = routers_[pop.router];
+            Fifo& fifo = router.buffers[pop.inPort][pop.channel];
+            fifo.pop();
+            if (fifo.empty()) {
+                router.occupancy &=
+                    ~(std::uint64_t(1)
+                      << (pop.inPort * channels + pop.channel));
+            }
+            // The pop freed a slot: wake whoever feeds this buffer —
+            // the upstream router, or the tile's own injection port.
+            // The wake targets only the pairs recorded as waiting on
+            // this buffer; everyone else stays asleep.
+            if (pop.inPort != portLocal) {
+                Router& up = routers_[router.neighborId[pop.inPort]];
+                const unsigned slot =
+                    Topology::oppositePort(pop.inPort) * channels +
+                    pop.channel;
+                if (up.waiters[slot] != 0) {
+                    up.blocked &= ~up.waiters[slot];
+                    up.waiters[slot] = 0;
+                    up.wakeAt = 0;
+                }
+            } else if (router.injectBlocked &
+                       (std::uint8_t(1) << pop.channel)) {
+                router.injectBlocked &=
+                    ~(std::uint8_t(1) << pop.channel);
+                if (onInjectSpace_)
+                    onInjectSpace_(pop.router, pop.channel);
+            }
+        }
+        shard.pops.clear();
+        for (const StagedPush& push : shard.pushes) {
+            Router& dst = routers_[push.router];
+            dst.buffers[push.inPort][push.entry.msg.channel].push(
+                push.entry);
+            dst.occupancy |=
+                std::uint64_t(1) << (push.inPort * channels +
+                                     push.entry.msg.channel);
+            dst.wakeAt = 0;
+        }
+        shard.pushes.clear();
+    }
+}
+
+void
+Network::step(Cycle now)
+{
+    if (inFlight_.load(std::memory_order_relaxed) == 0)
+        return;
+    for (unsigned s = 0; s < shards_.size(); ++s)
+        stepCompute(s, now);
+    stepCommit(now);
+}
+
+NocStats
+Network::stats() const
+{
+    NocStats out;
+    for (const Shard& shard : shards_) {
+        out.messagesInjected += shard.stats.messagesInjected;
+        out.messagesDelivered += shard.stats.messagesDelivered;
+        out.flitHops += shard.stats.flitHops;
+        out.flitWireTiles += shard.stats.flitWireTiles;
+        out.routerPassages += shard.stats.routerPassages;
+        out.deliveryStalls += shard.stats.deliveryStalls;
+    }
+    return out;
 }
 
 } // namespace dalorex

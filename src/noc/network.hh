@@ -17,6 +17,19 @@
  * routing" (Sec. III-F). Endpoint backpressure is modeled by letting
  * the TSU refuse delivery when the target input queue is full.
  *
+ * Stepping is two-phase so the engine can shard routers across worker
+ * threads deterministically: the *compute* phase (stepCompute) scans a
+ * contiguous router range, applies intra-router effects immediately
+ * (link occupancy, local deliveries into the router's own tile) and
+ * stages every cross-router effect — buffer pushes, head pops and the
+ * upstream wake-ups they trigger — into per-shard staging buffers; the
+ * serial *commit* phase (stepCommit) applies the staged effects in
+ * fixed shard/scan order. During compute a router only ever reads
+ * start-of-cycle state of foreign routers (each input buffer has
+ * exactly one upstream writer, and pops are deferred to commit), so
+ * the result is byte-identical for any shard count — step() is the
+ * one-shard special case, not a separate semantics.
+ *
  * Simplifications vs RTL (documented in DESIGN.md): buffers are counted
  * in message slots rather than a shared per-direction flit pool, and a
  * link serializes whole messages across channels instead of
@@ -28,6 +41,7 @@
 #define DALOREX_NOC_NETWORK_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -92,19 +106,58 @@ class Network
             InjectSpaceFn on_inject_space = nullptr);
 
     /**
-     * Try to move a message from tile `src`'s channel queue into the
-     * network at cycle `now`.
+     * Partition the routers into `shards` contiguous ranges for
+     * stepCompute/stepCommit. Purely an execution concern: timing and
+     * stats are byte-identical for every shard count. Must be called
+     * before the first step when the engine runs sharded.
      */
-    InjectResult tryInject(const Message& msg, TileId src, Cycle now);
+    void setNumShards(unsigned shards);
+    unsigned numShards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
 
-    /** Advance every router by one cycle. */
+    /**
+     * Try to move a message from tile `src`'s channel queue into the
+     * network at cycle `now`. `shard` names the caller's shard (the
+     * one owning `src`) so activity counters stay race-free; the
+     * serial entry points pass 0.
+     */
+    InjectResult tryInject(const Message& msg, TileId src, Cycle now,
+                           unsigned shard = 0);
+
+    /** Advance every router one cycle (compute + commit, one shard). */
     void step(Cycle now);
 
-    /** True when no message is buffered anywhere in the network. */
-    bool quiescent() const { return inFlight_ == 0; }
+    /**
+     * Compute phase for shard `shard`: scan its router range, apply
+     * intra-router effects, stage cross-router pushes/pops/wakes.
+     * Distinct shards may run concurrently; stepCommit must follow
+     * before the next cycle (or any quiescent()/stats() read).
+     */
+    void stepCompute(unsigned shard, Cycle now);
 
-    std::uint64_t inFlight() const { return inFlight_; }
-    const NocStats& stats() const { return stats_; }
+    /** Serial commit: apply every shard's staged effects in order. */
+    void stepCommit(Cycle now);
+
+    /** True when no message is buffered anywhere in the network.
+     *  Valid between cycles (after stepCommit / outside phases). */
+    bool
+    quiescent() const
+    {
+        return inFlight_.load(std::memory_order_relaxed) == 0;
+    }
+
+    std::uint64_t
+    inFlight() const
+    {
+        return inFlight_.load(std::memory_order_relaxed);
+    }
+
+    /** Aggregate counters, merged over shards (cheap; call freely
+     *  between cycles). */
+    NocStats stats() const;
+
     const Topology& topology() const { return topo_; }
     const NocConfig& config() const { return config_; }
 
@@ -123,7 +176,10 @@ class Network
     void
     wakeRouter(TileId router)
     {
-        routers_[router].blocked = 0;
+        Router& r = routers_[router];
+        r.blocked = 0;
+        r.wakeAt = 0;
+        r.waiters.fill(0);
     }
 
     /**
@@ -158,67 +214,134 @@ class Network
         std::uint8_t needSlots; //!< bubble rule: 2 on ring entry
     };
 
-    /** Fixed-capacity ring buffer of in-flight messages. */
+    /**
+     * Fixed-capacity ring buffer of in-flight messages. Storage lives
+     * in the network-wide arena (one allocation for every buffer of
+     * every router) instead of per-buffer heap blocks.
+     */
     struct Fifo
     {
-        std::vector<InFlight> slots;
+        InFlight* slots = nullptr;
+        std::uint32_t capacity = 0;
         std::uint32_t head = 0;
         std::uint32_t count = 0;
 
         bool empty() const { return count == 0; }
-        std::uint32_t
-        free() const
-        {
-            return static_cast<std::uint32_t>(slots.size()) - count;
-        }
+        std::uint32_t free() const { return capacity - count; }
         InFlight& front() { return slots[head]; }
         void
         pop()
         {
-            head = (head + 1) % slots.size();
+            head = (head + 1) % capacity;
             --count;
         }
         void
         push(const InFlight& entry)
         {
-            slots[(head + count) % slots.size()] = entry;
+            slots[(head + count) % capacity] = entry;
             ++count;
         }
     };
 
     struct Router
     {
-        /** buffers[port][channel]; portLocal holds injected traffic. */
-        std::array<std::array<Fifo, maxChannels>, numPorts> buffers;
-        /** Link occupancy per output port (wormhole serialization). */
-        std::array<Cycle, numPorts> linkFreeAt{};
-        /** Downstream router id per output port (precomputed). */
-        std::array<TileId, numPorts> neighborId{};
-        /** Injection serialization (TSU -> router, 1 flit/cycle). */
-        Cycle injectFreeAt = 0;
+        // Hot scan scalars lead the struct so the per-cycle
+        // pending/wake checks touch one cache line before any of the
+        // (much larger) buffer and waiter state.
+
         /** Non-empty (port, channel) pairs, bit port*channels+chan. */
         std::uint64_t occupancy = 0;
         /**
          * Pairs whose head is asleep waiting for downstream buffer
          * space or input-queue space. A sleeping head is skipped by
-         * step() until a pop on the blocking structure wakes this
+         * the scan until a pop on the blocking structure wakes this
          * router — turning the congestion retry storm into an
-         * event-driven wait with identical timing (space can only
-         * appear via a pop, which always wakes the sleeper in the
-         * same cycle the space appears).
+         * event-driven wait (space can only appear via a pop, whose
+         * commit always wakes the sleeper that cycle).
          */
         std::uint64_t blocked = 0;
+        /**
+         * Next cycle at which a timed wait (head arrived this cycle,
+         * link serializing) can resolve; the scan skips the router
+         * until then. Event-driven waits use `blocked` instead; every
+         * event (push, wake, injection) resets wakeAt to 0. Purely a
+         * scan fast path — skipped cycles are exactly those where no
+         * head could move.
+         */
+        Cycle wakeAt = 0;
+        /**
+         * Pairs that failed for a *timed* reason (output link still
+         * serializing, head arrived this cycle) and the earliest
+         * cycle any of them could retry. Such a head cannot become
+         * movable earlier — linkFreeAt only moves forward and the
+         * head itself is immutable until it moves — so the scan skips
+         * them until deferUntil and then rescans the whole set.
+         * Another pure fast path: skipped attempts are exactly the
+         * ones that would have failed.
+         */
+        std::uint64_t deferMask = 0;
+        Cycle deferUntil = ~Cycle(0);
+        /** Injection serialization (TSU -> router, 1 flit/cycle). */
+        Cycle injectFreeAt = 0;
         /**
          * Channels whose local input buffer rejected an injection
          * because it was full; cleared when that buffer pops. Lets the
          * engine skip hopeless injection retries.
          */
         std::uint8_t injectBlocked = 0;
+
+        /** buffers[port][channel]; portLocal holds injected traffic. */
+        std::array<std::array<Fifo, maxChannels>, numPorts> buffers;
+        /** Link occupancy per output port (wormhole serialization). */
+        std::array<Cycle, numPorts> linkFreeAt{};
+        /** Downstream router id per output port (precomputed). */
+        std::array<TileId, numPorts> neighborId{};
+        /**
+         * waiters[outPort * numChannels + channel]: the pairs asleep
+         * in `blocked` because that specific downstream buffer (or,
+         * for portLocal, the tile's input queues) was full. A commit
+         * pop on the downstream buffer wakes exactly this set instead
+         * of every blocked pair of the router, so congestion retries
+         * fire only when the awaited slot actually freed.
+         */
+        std::array<std::uint64_t, numPorts * maxChannels> waiters{};
+    };
+
+    /** One staged cross-router (or deferred intra-router) effect. */
+    struct StagedPop
+    {
+        TileId router;
+        Port inPort;
+        ChannelId channel;
+    };
+    struct StagedPush
+    {
+        TileId router; //!< receiving router
+        Port inPort;   //!< receiving input port
+        InFlight entry;
+    };
+
+    /** Per-shard staging buffers and stat accumulators. Cache-line
+     *  aligned so concurrent shard workers never false-share the
+     *  per-message counters. */
+    struct alignas(64) Shard
+    {
+        TileId beginRouter = 0;
+        TileId endRouter = 0;
+        std::vector<StagedPop> pops;
+        std::vector<StagedPush> pushes;
+        NocStats stats;
     };
 
     void markActive(TileId router, Cycle now, unsigned len);
+    /**
+     * Attempt one head move during compute. Returns true if the head
+     * moved (its pop is staged). On a timed failure, lowers `retryAt`
+     * to the earliest cycle the attempt could succeed; event-driven
+     * failures set `blocked` instead.
+     */
     bool tryMove(TileId router_id, Port in_port, ChannelId channel,
-                 Cycle now);
+                 Cycle now, Shard& shard, Cycle& retryAt);
     /** Fill the pre-routed fields of a message entering `router`. */
     void routeInto(TileId router, Port in_port, InFlight& entry) const;
 
@@ -227,10 +350,12 @@ class Network
     DeliverFn deliver_;
     InjectSpaceFn onInjectSpace_;
     std::vector<Router> routers_;
+    /** Backing storage of every Fifo in every router. */
+    std::vector<InFlight> bufferArena_;
     std::vector<Cycle> routerActive_;
     std::vector<Cycle> routerActiveUntil_;
-    std::uint64_t inFlight_ = 0;
-    NocStats stats_;
+    std::vector<Shard> shards_;
+    std::atomic<std::uint64_t> inFlight_{0};
 };
 
 } // namespace dalorex

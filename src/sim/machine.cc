@@ -5,9 +5,15 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace dalorex
 {
+
+namespace
+{
+constexpr Cycle neverCycle = ~Cycle(0);
+} // namespace
 
 double
 RunStats::utilization() const
@@ -21,8 +27,9 @@ RunStats::utilization() const
 
 // ---------------------------------------------------------------- TaskCtx
 
-TaskCtx::TaskCtx(Machine& machine, Tile& tile, std::uint32_t task)
-    : machine_(machine), tile_(tile), task_(task)
+TaskCtx::TaskCtx(Machine& machine, Tile& tile, std::uint32_t task,
+                 ShardCtx& shard)
+    : machine_(machine), tile_(tile), task_(task), shard_(shard)
 {
 }
 
@@ -37,7 +44,7 @@ TaskCtx::pop()
 {
     tile_.iqs[task_].pop();
     --tile_.pendingIqEntries;
-    --machine_.pendingIq_;
+    --shard_.pendingIqDelta;
     ++mutations_;
     // IQ space appeared: re-arm deliveries and self-injections
     // sleeping on this tile.
@@ -77,7 +84,7 @@ TaskCtx::send(ChannelId channel, Word index,
 
     tile_.cqs[channel].push(msg);
     ++tile_.pendingCqEntries;
-    ++machine_.pendingCq_;
+    ++shard_.pendingCqDelta;
     ++mutations_;
     // The PU stores each flit into the channel queue.
     write(def.numWords);
@@ -101,7 +108,7 @@ TaskCtx::enqueueLocal(TaskId task, std::initializer_list<Word> words)
         buf[w++] = word;
     iq.push(buf);
     ++tile_.pendingIqEntries;
-    ++machine_.pendingIq_;
+    ++shard_.pendingIqDelta;
     ++mutations_;
     write(static_cast<std::uint32_t>(words.size()));
 }
@@ -109,7 +116,7 @@ TaskCtx::enqueueLocal(TaskId task, std::initializer_list<Word> words)
 void
 TaskCtx::countEdges(std::uint64_t n)
 {
-    machine_.stats_.edgesProcessed += n;
+    shard_.edgesProcessed += n;
 }
 
 // ---------------------------------------------------------------- Machine
@@ -188,11 +195,29 @@ Machine::finalizeQueues()
         }
     }
 
+    // Pool the backing storage of every tile queue into two arenas —
+    // one allocation each for all IQ words and all CQ messages in the
+    // machine instead of tiles x queues small heap blocks.
+    std::size_t iq_words_per_tile = 0;
+    for (const TaskDef& def : taskDefs_)
+        iq_words_per_tile +=
+            WordQueue::storageWords(def.paramWords, def.iqCapacity);
+    std::size_t cq_msgs_per_tile = 0;
+    for (const ChannelDef& ch : channelDefs_)
+        cq_msgs_per_tile += ch.cqCapacity;
+    iqArena_.assign(iq_words_per_tile * tiles_.size(), 0);
+    cqArena_.assign(cq_msgs_per_tile * tiles_.size(), Message{});
+    std::size_t iq_next = 0;
+    std::size_t cq_next = 0;
+
     for (Tile& tile : tiles_) {
         tile.iqs.resize(taskDefs_.size());
         for (std::size_t t = 0; t < taskDefs_.size(); ++t) {
             WordQueue& iq = tile.iqs[t];
-            iq.init(taskDefs_[t].paramWords, taskDefs_[t].iqCapacity);
+            iq.init(taskDefs_[t].paramWords, taskDefs_[t].iqCapacity,
+                    &iqArena_[iq_next]);
+            iq_next += WordQueue::storageWords(
+                taskDefs_[t].paramWords, taskDefs_[t].iqCapacity);
             // Bake the traffic-aware occupancy thresholds into
             // integer watermarks (scheduling hot path).
             iq.setHighMark(static_cast<std::uint32_t>(std::ceil(
@@ -202,13 +227,34 @@ Machine::finalizeQueues()
         for (std::size_t c = 0; c < channelDefs_.size(); ++c) {
             MsgQueue& cq = tile.cqs[c];
             cq.init(channelDefs_[c].numWords,
-                    channelDefs_[c].cqCapacity);
+                    channelDefs_[c].cqCapacity, &cqArena_[cq_next]);
+            cq_next += channelDefs_[c].cqCapacity;
             cq.setLowMark(static_cast<std::uint32_t>(std::floor(
                 config_.thresholds.oqLow * cq.capacity())));
         }
         tile.taskInvocations.assign(taskDefs_.size(), 0);
     }
     finalized_ = true;
+}
+
+void
+Machine::buildShards(unsigned shards)
+{
+    const auto tiles = static_cast<TileId>(tiles_.size());
+    const unsigned n =
+        std::max(1u, std::min<unsigned>(shards, tiles));
+    shards_.assign(n, ShardCtx{});
+    tileShard_.assign(tiles, 0);
+    for (unsigned s = 0; s < n; ++s) {
+        ShardCtx& shard = shards_[s];
+        shard.index = s;
+        shard.beginTile =
+            static_cast<TileId>(std::uint64_t(tiles) * s / n);
+        shard.endTile =
+            static_cast<TileId>(std::uint64_t(tiles) * (s + 1) / n);
+        for (TileId t = shard.beginTile; t < shard.endTile; ++t)
+            tileShard_[t] = s;
+    }
 }
 
 void
@@ -256,15 +302,18 @@ Machine::deliver(const Message& msg)
         return false; // endpoint backpressure
     iq.push(msg.words.data());
     ++tile.pendingIqEntries;
-    ++pendingIq_;
-    stats_.tsuWrites += def.numWords;
-    lastProgress_ = now_;
+    // Deliveries happen at the destination's own router, so the
+    // owning shard is always the one computing this call.
+    ShardCtx& shard = shards_[tileShard_[msg.dest]];
+    ++shard.pendingIqDelta;
+    shard.tsuWrites += def.numWords;
+    shard.progressed = true;
     tile.schedStalled = false; // new input may unblock the TSU
     return true;
 }
 
 void
-Machine::injectFromCqs(Tile& tile, Cycle now)
+Machine::injectFromCqs(Tile& tile, Cycle now, ShardCtx& shard)
 {
     if (tile.pendingCqEntries == 0)
         return;
@@ -292,14 +341,14 @@ Machine::injectFromCqs(Tile& tile, Cycle now)
             }
             iq.push(msg.words.data());
             ++tile.pendingIqEntries;
-            ++pendingIq_;
-            stats_.tsuReads += def.numWords;
-            stats_.tsuWrites += def.numWords;
-            ++stats_.localBypassMsgs;
+            ++shard.pendingIqDelta;
+            shard.tsuReads += def.numWords;
+            shard.tsuWrites += def.numWords;
+            ++shard.localBypassMsgs;
             tile.schedStalled = false;
         } else {
             const InjectResult res =
-                network_->tryInject(msg, tile.id, now);
+                network_->tryInject(msg, tile.id, now, shard.index);
             if (res == InjectResult::bufferFull) {
                 // onInjectSpace re-arms when the buffer pops.
                 tile.injectStalledMask |= std::uint8_t(1) << c;
@@ -307,12 +356,12 @@ Machine::injectFromCqs(Tile& tile, Cycle now)
             }
             if (res == InjectResult::portBusy)
                 continue; // transient: retry next cycle
-            stats_.tsuReads += msg.numWords;
+            shard.tsuReads += msg.numWords;
         }
         cq.pop();
         --tile.pendingCqEntries;
-        --pendingCq_;
-        lastProgress_ = now;
+        --shard.pendingCqDelta;
+        shard.progressed = true;
         tile.schedStalled = false; // CQ space may unblock the TSU
         tile.injectNext = (c + 1) % num_channels;
         break; // one message through the local port per cycle
@@ -320,7 +369,7 @@ Machine::injectFromCqs(Tile& tile, Cycle now)
 }
 
 void
-Machine::stepPu(Tile& tile, Cycle now)
+Machine::stepPu(Tile& tile, Cycle now, ShardCtx& shard)
 {
     if (tile.pu.busyUntil > now || tile.pendingIqEntries == 0 ||
         tile.schedStalled) {
@@ -337,7 +386,7 @@ Machine::stepPu(Tile& tile, Cycle now)
     }
 
     const TaskDef& def = taskDefs_[t];
-    TaskCtx ctx(*this, tile, t);
+    TaskCtx ctx(*this, tile, t, shard);
 
     Word params[maxMsgWords];
     if (def.preload) {
@@ -348,8 +397,8 @@ Machine::stepPu(Tile& tile, Cycle now)
         ctx.params_ = params;
         tile.iqs[t].pop();
         --tile.pendingIqEntries;
-        --pendingIq_;
-        stats_.tsuReads += def.paramWords;
+        --shard.pendingIqDelta;
+        shard.tsuReads += def.paramWords;
         // IQ space appeared: re-arm deliveries and self-injections
         // sleeping on this tile.
         network_->wakeRouter(tile.id);
@@ -377,7 +426,34 @@ Machine::stepPu(Tile& tile, Cycle now)
     // invocation that cannot act must not placate the deadlock
     // watchdog.
     if (def.preload || ctx.mutations() > 0)
-        lastProgress_ = now;
+        shard.progressed = true;
+}
+
+void
+Machine::tilePhase(unsigned shard_index, Cycle now)
+{
+    ShardCtx& shard = shards_[shard_index];
+    shard.maxBusyUntil = 0;
+    shard.nextEvent = neverCycle;
+    for (TileId t = shard.beginTile; t < shard.endTile; ++t) {
+        Tile& tile = tiles_[t];
+        if (!tile.quiet(now)) {
+            injectFromCqs(tile, now, shard);
+            stepPu(tile, now, shard);
+        }
+        // Idle/fast-forward aggregates, maintained here so the serial
+        // part of the loop is O(shards), not O(tiles).
+        const Cycle busy = tile.pu.busyUntil;
+        if (busy > shard.maxBusyUntil)
+            shard.maxBusyUntil = busy;
+        if (busy > now && busy < shard.nextEvent)
+            shard.nextEvent = busy;
+        if (tile.pendingCqEntries > 0) {
+            const Cycle free_at = network_->injectFreeAt(t);
+            if (free_at > now && free_at < shard.nextEvent)
+                shard.nextEvent = free_at;
+        }
+    }
 }
 
 RunStats
@@ -388,6 +464,9 @@ Machine::run(App& app)
 
     app.configure(*this);
     finalizeQueues();
+    buildShards(std::max(1u, config_.engineThreads));
+    const auto num_shards =
+        static_cast<unsigned>(shards_.size());
 
     NocConfig noc_config;
     noc_config.topology = config_.topology;
@@ -410,6 +489,7 @@ Machine::run(App& app)
             tiles_[tile].injectStalledMask &=
                 ~(std::uint8_t(1) << channel);
         });
+    network_->setNumShards(num_shards);
 
     app.start(*this);
 
@@ -422,21 +502,49 @@ Machine::run(App& app)
     stats_.epochs = 1;
     lastProgress_ = 0;
 
+    // One crew member per shard; with one shard the phases run inline
+    // on this thread and the crew spawns nothing.
+    WorkerCrew crew(num_shards);
+
     for (now_ = 0;; ++now_) {
-        network_->step(now_);
-        for (Tile& tile : tiles_) {
-            if (tile.quiet(now_))
-                continue;
-            injectFromCqs(tile, now_);
-            stepPu(tile, now_);
+        if (!network_->quiescent()) {
+            if (num_shards == 1) {
+                network_->stepCompute(0, now_);
+            } else {
+                crew.runPhase([this](unsigned s) {
+                    network_->stepCompute(s, now_);
+                });
+            }
+            network_->stepCommit(now_);
         }
+
+        if (num_shards == 1) {
+            tilePhase(0, now_);
+        } else {
+            crew.runPhase(
+                [this](unsigned s) { tilePhase(s, now_); });
+        }
+
+        // Serial merge of the cycle's shard deltas (fixed order).
+        bool progressed = false;
+        Cycle max_busy = now_;
+        Cycle next_event = neverCycle;
+        for (ShardCtx& shard : shards_) {
+            pendingIq_ += shard.pendingIqDelta;
+            shard.pendingIqDelta = 0;
+            pendingCq_ += shard.pendingCqDelta;
+            shard.pendingCqDelta = 0;
+            progressed |= shard.progressed;
+            shard.progressed = false;
+            max_busy = std::max(max_busy, shard.maxBusyUntil);
+            next_event = std::min(next_event, shard.nextEvent);
+        }
+        if (progressed)
+            lastProgress_ = now_;
 
         if (allIdle()) {
             // Drain the tail: the last tasks' busy time still counts.
-            Cycle last_busy = now_;
-            for (const Tile& tile : tiles_)
-                last_busy = std::max(last_busy, tile.pu.busyUntil);
-            now_ = last_busy;
+            now_ = max_busy;
             if (use_barrier && app.startEpoch(*this)) {
                 now_ += barrier_latency;
                 ++stats_.epochs;
@@ -459,20 +567,10 @@ Machine::run(App& app)
         // the next timed event — a PU completing its task or an
         // injection port finishing serialization. Jump there. (Every
         // other wake-up is event-driven and thus implies activity.)
-        if (network_->quiescent() && lastProgress_ != now_) {
-            Cycle next = ~Cycle(0);
-            for (const Tile& tile : tiles_) {
-                if (tile.pu.busyUntil > now_)
-                    next = std::min(next, tile.pu.busyUntil);
-                if (tile.pendingCqEntries > 0) {
-                    const Cycle free_at =
-                        network_->injectFreeAt(tile.id);
-                    if (free_at > now_)
-                        next = std::min(next, free_at);
-                }
-            }
-            if (next != ~Cycle(0) && next > now_ + 1)
-                now_ = next - 1; // loop increment lands on `next`
+        // The per-shard aggregates make this O(shards), not O(tiles).
+        if (network_->quiescent() && lastProgress_ != now_ &&
+            next_event != neverCycle && next_event > now_ + 1) {
+            now_ = next_event - 1; // loop increment lands on `next`
         }
     }
 
@@ -493,6 +591,12 @@ Machine::run(App& app)
         stats_.scratchpadBytesTotal += bytes;
         stats_.scratchpadBytesMax =
             std::max(stats_.scratchpadBytesMax, bytes);
+    }
+    for (const ShardCtx& shard : shards_) {
+        stats_.tsuReads += shard.tsuReads;
+        stats_.tsuWrites += shard.tsuWrites;
+        stats_.localBypassMsgs += shard.localBypassMsgs;
+        stats_.edgesProcessed += shard.edgesProcessed;
     }
     stats_.noc = network_->stats();
     stats_.routerActivePerTile = network_->routerActiveCycles();

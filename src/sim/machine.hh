@@ -12,6 +12,15 @@
  * epoch-synchronized mode the host instead triggers the next epoch
  * (Sec. III-C).
  *
+ * Execution is sharded: the tiles are split into contiguous ranges,
+ * one per engine worker (MachineConfig::engineThreads). Each cycle the
+ * NoC compute phase and the tile phase run shard-parallel; everything
+ * a shard mutates is either owned by it (its tiles, their routers) or
+ * staged/accumulated per shard and merged serially in fixed shard
+ * order. No phase ever reads another shard's in-cycle mutations, so
+ * RunStats are byte-identical for every engineThreads value — the
+ * serial engine is simply the one-shard case.
+ *
  * The ablation ladder of Fig. 5 maps onto MachineConfig knobs:
  * distribution (Uniform-Distr), policy (Traffic-Aware), topology
  * (Torus-NoC), barrier + invokeOverhead (Data-Local vs Basic-TSU).
@@ -55,6 +64,14 @@ struct MachineConfig
      * TSU's non-interrupting invocation.
      */
     std::uint32_t invokeOverhead = 0;
+    /**
+     * Engine worker threads: the tile grid is split into this many
+     * contiguous shards stepped in parallel each cycle. Results are
+     * byte-identical for every value (see the file comment); raising
+     * it only buys wall-clock speed on large grids. Clamped to the
+     * tile count; 0 behaves like 1.
+     */
+    unsigned engineThreads = 1;
     /** Abort if this many cycles pass without progress (deadlock). */
     Cycle watchdogCycles = 1'000'000;
     /** Hard cycle limit (0 = none); panic when exceeded. */
@@ -113,10 +130,42 @@ struct RunStats
  * ALU work the task performs must be charged through it; the PU stays
  * busy for the accumulated cycle count.
  */
+/**
+ * One engine shard: a contiguous tile range plus everything its
+ * worker accumulates during a cycle. Deltas and the progress flag are
+ * merged (and reset) serially after the tile phase; the stat counters
+ * accumulate across the whole run and fold into RunStats at the end.
+ * Cache-line aligned so concurrent shard workers never false-share.
+ */
+struct alignas(64) ShardCtx
+{
+    std::uint32_t index = 0; //!< shard id (network stat routing)
+    TileId beginTile = 0;
+    TileId endTile = 0;
+
+    // Per-cycle deltas against the engine's global counters.
+    std::int64_t pendingIqDelta = 0;
+    std::int64_t pendingCqDelta = 0;
+    bool progressed = false;
+
+    // Per-cycle idle/fast-forward aggregates over the shard's tiles,
+    // refreshed by each tile phase: the busiest PU (drain tail) and
+    // the earliest future event (exactness-preserving fast-forward).
+    Cycle maxBusyUntil = 0;
+    Cycle nextEvent = ~Cycle(0);
+
+    // Whole-run stat accumulators (merged in shard order at the end).
+    std::uint64_t tsuReads = 0;
+    std::uint64_t tsuWrites = 0;
+    std::uint64_t localBypassMsgs = 0;
+    std::uint64_t edgesProcessed = 0;
+};
+
 class TaskCtx
 {
   public:
-    TaskCtx(Machine& machine, Tile& tile, std::uint32_t task);
+    TaskCtx(Machine& machine, Tile& tile, std::uint32_t task,
+            ShardCtx& shard);
 
     /** Pre-loaded parameter i (preload tasks only). */
     Word
@@ -193,6 +242,7 @@ class TaskCtx
     Machine& machine_;
     Tile& tile_;
     std::uint32_t task_;
+    ShardCtx& shard_;
     const Word* params_ = nullptr;
     std::uint32_t ops_ = 0;
     std::uint32_t reads_ = 0;
@@ -271,11 +321,16 @@ class Machine
     /** Deliver a network message into its target task's IQ. */
     bool deliver(const Message& msg);
     /** Move at most one CQ message into the network / local IQ. */
-    void injectFromCqs(Tile& tile, Cycle now);
+    void injectFromCqs(Tile& tile, Cycle now, ShardCtx& shard);
     /** Let the TSU invoke one task if the PU is idle. */
-    void stepPu(Tile& tile, Cycle now);
-    /** Size all queues after registration. */
+    void stepPu(Tile& tile, Cycle now, ShardCtx& shard);
+    /** Size all queues after registration (arena-pooled storage). */
     void finalizeQueues();
+    /** Partition tiles into `shards` contiguous ranges. */
+    void buildShards(unsigned shards);
+    /** Advance one shard's tiles one cycle (inject + PU step) and
+     *  refresh its idle/fast-forward aggregates. */
+    void tilePhase(unsigned shard_index, Cycle now);
     /** Global idle check (exact outstanding-work counters). */
     bool
     allIdle() const
@@ -290,6 +345,15 @@ class Machine
     std::vector<ChannelDef> channelDefs_;
     std::vector<Tile> tiles_;
     std::unique_ptr<Network> network_;
+
+    // Pooled backing storage of every tile queue (finalizeQueues).
+    std::vector<Word> iqArena_;
+    std::vector<Message> cqArena_;
+
+    // Execution shards: contiguous tile ranges plus per-shard
+    // accumulators; tileShard_ maps tile -> owning shard.
+    std::vector<ShardCtx> shards_;
+    std::vector<std::uint32_t> tileShard_;
 
     bool finalized_ = false;
     bool ran_ = false;

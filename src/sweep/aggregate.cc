@@ -35,7 +35,8 @@ groupKey(const cli::Report& report)
         << o.machine.rucheFactor << '|' << toString(o.machine.policy)
         << '|' << toString(o.machine.distribution) << '|'
         << o.machine.barrier << '|' << o.machine.invokeOverhead << '|'
-        << o.machine.scratchpadProvisionBytes;
+        << o.machine.scratchpadProvisionBytes << '|'
+        << o.machine.engineThreads;
     return key.str();
 }
 
@@ -117,7 +118,8 @@ toTable(const std::vector<Row>& rows)
     Table table({"kernel",        "dataset",     "vertices",
                  "edges",         "tiles",       "grid",
                  "topology",      "policy",      "distribution",
-                 "barrier",       "cycles",      "epochs",
+                 "barrier",       "eng_thr",     "cycles",
+                 "epochs",
                  "seconds",       "edges_proc",  "pu_util",
                  "edges/s",       "ops/s",       "mem_bw_B/s",
                  "KB/tile",       "verts/tile",  "energy_J",
@@ -135,6 +137,7 @@ toTable(const std::vector<Row>& rows)
              toString(o.machine.policy),
              toString(o.machine.distribution),
              o.machine.barrier ? "on" : "off",
+             std::to_string(std::max(1u, o.machine.engineThreads)),
              std::to_string(r.stats.cycles),
              std::to_string(r.stats.epochs), Table::sci(r.seconds, 3),
              std::to_string(r.stats.edgesProcessed),
@@ -185,6 +188,8 @@ toJsonl(const std::vector<Row>& rows)
             << toString(o.machine.distribution) << "\","
             << "\"barrier\":"
             << (o.machine.barrier ? "true" : "false") << ","
+            << "\"engine_threads\":"
+            << std::max(1u, o.machine.engineThreads) << ","
             << "\"seed\":" << o.seed << ","
             << "\"cycles\":" << r.stats.cycles << ","
             << "\"epochs\":" << r.stats.epochs << ","

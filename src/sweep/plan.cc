@@ -77,6 +77,8 @@ expand(const Plan& plan)
     const std::vector<Distribution> distributions =
         unique(plan.distributions);
     const std::vector<bool> barriers = unique(plan.barriers);
+    const std::vector<unsigned> engine_threads =
+        unique(plan.engineThreads);
 
     if (kernels.empty())
         return fail("kernel axis is empty");
@@ -96,6 +98,13 @@ expand(const Plan& plan)
         return fail("distribution axis is empty");
     if (barriers.empty())
         return fail("barrier axis is empty");
+    if (engine_threads.empty())
+        return fail("engine-threads axis is empty");
+    for (const unsigned threads : engine_threads) {
+        if (threads < 1 || threads > 256)
+            return fail("engine-threads out of [1,256]: " +
+                        std::to_string(threads));
+    }
 
     for (const GridShape& grid : grids) {
         if (grid.width < 1 || grid.width > 1024 || grid.height < 1 ||
@@ -134,42 +143,40 @@ expand(const Plan& plan)
                     " is not on the grid axis");
 
     for (const KernelInfo* kernel : kernels)
-        for (const DatasetSpec& ds : datasets)
-            for (const GridShape& grid : grids)
-                for (const NocTopology topology : topologies)
-                    for (const SchedPolicy policy : policies)
-                        for (const Distribution distribution :
-                             distributions)
-                            for (const bool barrier : barriers) {
-                                cli::Options o;
-                                o.kernel = kernel;
-                                o.dataset = ds.name;
-                                if (ds.name.empty())
-                                    o.scale = ds.scale;
-                                else
-                                    o.datasetScale = ds.scale;
-                                o.seed = plan.seed;
-                                o.validate = plan.validate;
-                                o.pagerankIterations =
-                                    plan.pagerankIterations;
-                                o.machine.width = grid.width;
-                                o.machine.height = grid.height;
-                                o.machine.topology = topology;
-                                o.machine.rucheFactor =
-                                    topology ==
-                                            NocTopology::torusRuche
-                                        ? std::max<std::uint32_t>(
-                                              2, plan.rucheFactor)
-                                        : 0;
-                                o.machine.policy = policy;
-                                o.machine.distribution = distribution;
-                                o.machine.barrier = barrier;
-                                o.machine.invokeOverhead =
-                                    plan.invokeOverhead;
-                                o.machine.scratchpadProvisionBytes =
-                                    plan.scratchpadProvisionBytes;
-                                result.points.push_back(std::move(o));
-                            }
+      for (const DatasetSpec& ds : datasets)
+        for (const GridShape& grid : grids)
+          for (const NocTopology topology : topologies)
+            for (const SchedPolicy policy : policies)
+              for (const Distribution distribution : distributions)
+                for (const bool barrier : barriers)
+                  for (const unsigned threads : engine_threads) {
+                      cli::Options o;
+                      o.kernel = kernel;
+                      o.dataset = ds.name;
+                      if (ds.name.empty())
+                          o.scale = ds.scale;
+                      else
+                          o.datasetScale = ds.scale;
+                      o.seed = plan.seed;
+                      o.validate = plan.validate;
+                      o.params = plan.params;
+                      o.machine.width = grid.width;
+                      o.machine.height = grid.height;
+                      o.machine.topology = topology;
+                      o.machine.rucheFactor =
+                          topology == NocTopology::torusRuche
+                              ? std::max<std::uint32_t>(
+                                    2, plan.rucheFactor)
+                              : 0;
+                      o.machine.policy = policy;
+                      o.machine.distribution = distribution;
+                      o.machine.barrier = barrier;
+                      o.machine.engineThreads = threads;
+                      o.machine.invokeOverhead = plan.invokeOverhead;
+                      o.machine.scratchpadProvisionBytes =
+                          plan.scratchpadProvisionBytes;
+                      result.points.push_back(std::move(o));
+                  }
     return result;
 }
 

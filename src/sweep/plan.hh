@@ -79,13 +79,21 @@ struct Plan
     std::vector<SchedPolicy> policies{SchedPolicy::trafficAware};
     std::vector<Distribution> distributions{Distribution::lowOrder};
     std::vector<bool> barriers{false};
+    /**
+     * Engine worker threads per point (`--engine-threads N,...`). An
+     * axis like any other so scaling studies can sweep it — but stats
+     * are byte-identical across its values by engine contract; only
+     * wall-clock changes.
+     */
+    std::vector<unsigned> engineThreads{1};
 
     /** Ruche hop distance applied to torus-ruche points. */
     std::uint32_t rucheFactor = 2;
     /** Extra cycles per task invocation (ablation knob). */
     std::uint32_t invokeOverhead = 0;
-    /** PageRank epoch override (0 = kernel default). */
-    unsigned pagerankIterations = 0;
+    /** Kernel parameter overrides (`--param damping=0.9,...`); keys
+     *  a kernel declares unused are skipped per point. */
+    std::vector<ParamOverride> params;
     /** Per-tile scratchpad provision in bytes (0 = size to usage). */
     std::uint64_t scratchpadProvisionBytes = 0;
     std::uint64_t seed = 1;

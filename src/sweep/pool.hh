@@ -1,34 +1,24 @@
 /**
  * @file
- * A fixed-size worker pool for embarrassingly parallel index spaces.
- *
- * Workers pull indices from a shared atomic counter and each invokes
- * the job on its own stack — one engine instance per worker, no shared
- * mutable state — so results written into pre-sized slot `i` are
- * identical regardless of the thread count or scheduling order.
+ * Compatibility shim: the worker-pool primitives moved down to
+ * common/parallel.hh so the cycle engine (src/sim) and the sweep
+ * orchestrator share one thread abstraction — a sweep's `--threads`
+ * budget splits into `--engine-threads` per engine times the number
+ * of sweep workers, all drawn from the same machinery.
  */
 
 #ifndef DALOREX_SWEEP_POOL_HH
 #define DALOREX_SWEEP_POOL_HH
 
-#include <cstddef>
-#include <functional>
+#include "common/parallel.hh"
 
 namespace dalorex
 {
 namespace sweep
 {
 
-/**
- * Invoke `job(i)` for every i in [0, n) on up to `threads` workers.
- * threads <= 1 (or n <= 1) runs inline on the calling thread. Blocks
- * until all jobs finish.
- */
-void runIndexed(std::size_t n, unsigned threads,
-                const std::function<void(std::size_t)>& job);
-
-/** The host core count (>= 1): the default worker-pool size. */
-unsigned defaultWorkerThreads();
+using dalorex::defaultWorkerThreads;
+using dalorex::runIndexed;
 
 } // namespace sweep
 } // namespace dalorex

@@ -66,6 +66,7 @@ parseSweepArgs(int argc, const char* const* argv)
     bool sawTopology = false;
     bool sawPolicy = false;
     bool sawDistribution = false;
+    bool sawEngineThreads = false;
 
     auto needsValue = [](const std::string& flag) {
         static const std::vector<std::string> valued = {
@@ -73,7 +74,8 @@ parseSweepArgs(int argc, const char* const* argv)
             "--grid-size", "--topology",    "--policy",
             "--distribution", "--barrier",  "--baseline",
             "--ruche-factor", "--invoke-overhead", "--seed",
-            "--pagerank-iters", "--threads", "--csv", "--jsonl",
+            "--pagerank-iters", "--param",  "--engine-threads",
+            "--threads", "--csv", "--jsonl",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -204,11 +206,28 @@ parseSweepArgs(int argc, const char* const* argv)
             if (!cli::parseU64(value, o.plan.seed))
                 return fail("--seed must be an integer, got " + value);
         } else if (flag == "--pagerank-iters") {
+            // Deprecated alias for --param iterations=N.
             std::uint32_t iters = 0;
             if (!cli::parseU32(value, 1, 1000, iters))
                 return fail("--pagerank-iters must be in [1, 1000], "
                             "got " + value);
-            o.plan.pagerankIterations = iters;
+            o.plan.params.push_back(
+                {"iterations", static_cast<double>(iters)});
+        } else if (flag == "--param") {
+            std::string err;
+            if (!parseParamOverrides(value, o.plan.params, err))
+                return fail(err);
+        } else if (flag == "--engine-threads") {
+            if (!sawEngineThreads)
+                o.plan.engineThreads.clear();
+            sawEngineThreads = true;
+            for (const std::string& item : splitCommas(value)) {
+                std::uint32_t threads = 0;
+                if (!cli::parseU32(item, 1, 256, threads))
+                    return fail("--engine-threads must be in "
+                                "[1, 256], got " + item);
+                o.plan.engineThreads.push_back(threads);
+            }
         } else if (flag == "--threads") {
             std::uint32_t threads = 0;
             if (!cli::parseU32(value, 1, 256, threads))
@@ -288,6 +307,10 @@ sweepUsageText()
         "  --distribution D,...  low-order|high-order"
         " (default low-order)\n"
         "  --barrier M           off|on|both (default off)\n"
+        "  --engine-threads N,...engine worker threads per point"
+        " [1, 256]\n"
+        "                        (default 1; stats are byte-identical"
+        " for every N)\n"
         "\n"
         "scenario knobs:\n"
         "  --baseline WxH        speedup baseline shape"
@@ -296,16 +319,24 @@ sweepUsageText()
         " (default 2)\n"
         "  --invoke-overhead N   extra cycles per task invocation\n"
         "  --seed N              dataset/weight seed (default 1)\n"
-        "  --pagerank-iters N    PageRank epochs [1, 1000]"
-        " (default: kernel's 10)\n"
+        "  --param K=V,...       kernel parameter overrides"
+        " (damping|iterations);\n"
+        "                        keys a kernel does not use are"
+        " skipped\n"
+        "  --pagerank-iters N    deprecated alias for"
+        " --param iterations=N\n"
         "  --quick / --full      stand-in scale for named datasets"
         " (default quick)\n"
         "  --validate            check every point against the"
         " sequential reference\n"
         "\n"
         "execution and output:\n"
-        "  --threads N           worker threads [1, 256]"
-        " (default: host cores);\n"
+        "  --threads N           total thread budget [1, 256]"
+        " (default: host\n"
+        "                        cores); splits into sweep workers x"
+        " the largest\n"
+        "                        --engine-threads value and must"
+        " cover it;\n"
         "                        output is identical for every N\n"
         "  --csv PATH            write the aggregate table as CSV\n"
         "  --jsonl PATH          write one JSON object per row\n"
@@ -351,11 +382,35 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         err << "dalorex sweep: " << expanded.error << "\n";
         return 2;
     }
+    // One thread budget: `--threads` covers sweep workers times the
+    // engine threads inside each point, so a machine-parallel sweep
+    // does not oversubscribe the host. Workers = threads / max axis
+    // value (at least 1). An explicit budget below the largest
+    // engine-threads value cannot be honored — refuse it instead of
+    // silently oversubscribing; a defaulted budget grows to fit.
+    unsigned max_engine_threads = 1;
+    for (const unsigned n : o.plan.engineThreads)
+        max_engine_threads = std::max(max_engine_threads, n);
+    if (o.threads > 0 && o.threads < max_engine_threads) {
+        err << "dalorex sweep: --threads " << o.threads
+            << " is below the largest --engine-threads value ("
+            << max_engine_threads
+            << "); raise the budget or lower the axis\n";
+        return 2;
+    }
+    const unsigned budget =
+        o.threads > 0
+            ? o.threads
+            : std::max(defaultWorkerThreads(), max_engine_threads);
     const unsigned threads =
-        o.threads > 0 ? o.threads : defaultWorkerThreads();
+        std::max(1u, budget / max_engine_threads);
     err << "[sweep] " << expanded.points.size()
         << " scenario points on " << threads << " worker thread"
-        << (threads == 1 ? "" : "s") << "\n";
+        << (threads == 1 ? "" : "s");
+    if (max_engine_threads > 1)
+        err << " x " << max_engine_threads
+            << " engine threads (budget " << budget << ")";
+    err << "\n";
 
     const RunResult run_result = run(expanded, threads);
     if (!run_result.ok) {

@@ -11,6 +11,7 @@
 #ifndef DALOREX_TILE_QUEUE_HH
 #define DALOREX_TILE_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -27,16 +28,35 @@ class WordQueue
   public:
     WordQueue() = default;
 
-    /** Size the queue: `capacity` entries of `entry_words` words. */
+    /** Words of backing storage an (entry_words, capacity) queue
+     *  needs — for arena sizing before bind-style init. */
+    static std::size_t
+    storageWords(std::uint32_t entry_words, std::uint32_t capacity)
+    {
+        return std::size_t(entry_words) * capacity;
+    }
+
+    /**
+     * Size the queue: `capacity` entries of `entry_words` words.
+     * With `storage` the queue is a view into a caller-owned arena of
+     * storageWords() zeroed words (the engine pools every queue of a
+     * Machine into one allocation); without, it owns its storage.
+     */
     void
-    init(std::uint32_t entry_words, std::uint32_t capacity)
+    init(std::uint32_t entry_words, std::uint32_t capacity,
+         Word* storage = nullptr)
     {
         panic_if(entry_words == 0 || entry_words > maxMsgWords,
                  "queue entry width out of range: ", entry_words);
         panic_if(capacity == 0, "queue capacity must be positive");
         entryWords_ = entry_words;
         capacity_ = capacity;
-        storage_.assign(std::size_t(entry_words) * capacity, 0);
+        if (storage != nullptr) {
+            data_ = storage;
+        } else {
+            owned_.assign(storageWords(entry_words, capacity), 0);
+            data_ = owned_.data();
+        }
         head_ = count_ = 0;
     }
 
@@ -79,7 +99,7 @@ class WordQueue
         const std::size_t base =
             std::size_t((head_ + count_) % capacity_) * entryWords_;
         for (std::uint32_t w = 0; w < entryWords_; ++w)
-            storage_[base + w] = words[w];
+            data_[base + w] = words[w];
         ++count_;
     }
 
@@ -88,7 +108,7 @@ class WordQueue
     front() const
     {
         panic_if(empty(), "front of empty queue");
-        return &storage_[std::size_t(head_) * entryWords_];
+        return &data_[std::size_t(head_) * entryWords_];
     }
 
     /** Drop the oldest entry (Listing 1's pop). */
@@ -101,7 +121,8 @@ class WordQueue
     }
 
   private:
-    std::vector<Word> storage_;
+    std::vector<Word> owned_;
+    Word* data_ = nullptr;
     std::uint32_t entryWords_ = 0;
     std::uint32_t capacity_ = 0;
     std::uint32_t head_ = 0;
@@ -115,13 +136,24 @@ class MsgQueue
   public:
     MsgQueue() = default;
 
+    /**
+     * Size the queue to `capacity` messages. With `storage` the queue
+     * is a view into a caller-owned arena of `capacity`
+     * default-initialized messages; without, it owns its storage.
+     */
     void
-    init(std::uint32_t entry_words, std::uint32_t capacity)
+    init(std::uint32_t entry_words, std::uint32_t capacity,
+         Message* storage = nullptr)
     {
         panic_if(capacity == 0, "queue capacity must be positive");
         entryWords_ = entry_words;
         capacity_ = capacity;
-        storage_.assign(capacity, Message{});
+        if (storage != nullptr) {
+            data_ = storage;
+        } else {
+            owned_.assign(capacity, Message{});
+            data_ = owned_.data();
+        }
         head_ = count_ = 0;
     }
 
@@ -153,7 +185,7 @@ class MsgQueue
     push(const Message& msg)
     {
         panic_if(full(), "push to full channel queue");
-        storage_[(head_ + count_) % capacity_] = msg;
+        data_[(head_ + count_) % capacity_] = msg;
         ++count_;
     }
 
@@ -161,7 +193,7 @@ class MsgQueue
     front() const
     {
         panic_if(empty(), "front of empty channel queue");
-        return storage_[head_];
+        return data_[head_];
     }
 
     void
@@ -173,7 +205,8 @@ class MsgQueue
     }
 
   private:
-    std::vector<Message> storage_;
+    std::vector<Message> owned_;
+    Message* data_ = nullptr;
     std::uint32_t entryWords_ = 0;
     std::uint32_t capacity_ = 0;
     std::uint32_t head_ = 0;

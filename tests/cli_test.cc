@@ -138,6 +138,44 @@ TEST(CliParse, RejectsMissingAndMalformedValues)
     EXPECT_FALSE(parse({"--seed", "abc"}).ok);
 }
 
+TEST(CliParse, EngineThreadsFlag)
+{
+    const ParseResult r = parse({"--engine-threads", "8"});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.options.machine.engineThreads, 8u);
+
+    EXPECT_FALSE(parse({"--engine-threads"}).ok);
+    EXPECT_FALSE(parse({"--engine-threads", "0"}).ok);
+    EXPECT_FALSE(parse({"--engine-threads", "257"}).ok);
+    EXPECT_FALSE(parse({"--engine-threads", "many"}).ok);
+}
+
+TEST(CliParse, ParamOverridesAndDeprecatedAlias)
+{
+    const ParseResult r =
+        parse({"--param", "damping=0.9,iterations=20"});
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.options.params.size(), 2u);
+    EXPECT_EQ(r.options.params[0].name, "damping");
+    EXPECT_DOUBLE_EQ(r.options.params[0].value, 0.9);
+    EXPECT_EQ(r.options.params[1].name, "iterations");
+    EXPECT_DOUBLE_EQ(r.options.params[1].value, 20.0);
+
+    // The deprecated spelling folds into the same override list.
+    const ParseResult alias = parse({"--pagerank-iters", "7"});
+    ASSERT_TRUE(alias.ok) << alias.error;
+    ASSERT_EQ(alias.options.params.size(), 1u);
+    EXPECT_EQ(alias.options.params[0].name, "iterations");
+    EXPECT_DOUBLE_EQ(alias.options.params[0].value, 7.0);
+
+    EXPECT_FALSE(parse({"--param", "frobnicate=3"}).ok);
+    EXPECT_FALSE(parse({"--param", "damping"}).ok);
+    EXPECT_FALSE(parse({"--param", "damping=2.0"}).ok);
+    EXPECT_FALSE(parse({"--param", "iterations=0"}).ok);
+    EXPECT_FALSE(parse({"--param", "iterations=1.5"}).ok);
+    EXPECT_FALSE(parse({"--pagerank-iters", "0"}).ok);
+}
+
 TEST(CliParse, HelpFlag)
 {
     const ParseResult r = parse({"--help"});
@@ -225,6 +263,31 @@ TEST(CliMain, JsonReportHasStatsAndEnergy)
             << key;
     EXPECT_NE(out.find("\"kernel\":\"bfs\""), std::string::npos);
     EXPECT_NE(out.find("\"validated\":true"), std::string::npos);
+}
+
+TEST(CliMain, ParamOverrideDrivesPageRankEpochs)
+{
+    std::string out;
+    std::string err;
+    const int code =
+        runCli({"--kernel", "pagerank", "--width", "2", "--height",
+                "2", "--scale", "7", "--param", "iterations=3",
+                "--json"},
+               out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_EQ(jsonUint(out, "epochs"), 3u);
+}
+
+TEST(CliMain, EngineThreadsSurfaceInJson)
+{
+    std::string out;
+    std::string err;
+    const int code =
+        runCli({"--kernel", "bfs", "--width", "4", "--height", "4",
+                "--scale", "8", "--engine-threads", "4", "--json"},
+               out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_EQ(jsonUint(out, "engine_threads"), 4u);
 }
 
 TEST(CliMain, TextReportMentionsKernelAndCycles)

@@ -19,6 +19,7 @@
 
 #include "apps/graph_app.hh"
 #include "apps/kernels.hh"
+#include "cli/cli.hh"
 #include "graph/rmat.hh"
 #include "sim/machine.hh"
 #include "sweep/aggregate.hh"
@@ -104,6 +105,65 @@ TEST_P(DeterminismTest, TwoRunsBitIdentical)
 // and the degree histogram joined this suite with zero edits here.
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, DeterminismTest, ::testing::ValuesIn(allKernels()),
+    [](const ::testing::TestParamInfo<const KernelInfo*>& info) {
+        return info.param->display;
+    });
+
+/**
+ * The sharded engine's core contract: RunStats — and therefore the
+ * rendered stats/energy JSON — are byte-identical for every
+ * --engine-threads value. Runs every registered kernel at 1, 2 and 8
+ * engine threads (8 shards over 16 tiles gives 2-tile shards, the
+ * most fragmented interesting split on this grid).
+ */
+class EngineThreadsDeterminism
+    : public ::testing::TestWithParam<const KernelInfo*>
+{
+};
+
+namespace
+{
+
+/** Scenario JSON at `engine_threads`, with the thread count itself
+ *  normalized out so the strings compare byte-for-byte. */
+std::string
+scenarioJson(const KernelInfo* kernel, unsigned engine_threads,
+             RunStats* stats_out = nullptr)
+{
+    cli::Options options;
+    options.kernel = kernel;
+    options.scale = 8;
+    options.seed = 23;
+    options.machine.width = 4;
+    options.machine.height = 4;
+    options.machine.engineThreads = engine_threads;
+    cli::RunOutcome outcome = cli::runScenario(options);
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+    if (stats_out != nullptr)
+        *stats_out = outcome.report.stats;
+    outcome.report.options.machine.engineThreads = 0;
+    return cli::renderJson(outcome.report);
+}
+
+} // namespace
+
+TEST_P(EngineThreadsDeterminism, StatsAndEnergyJsonByteIdentical)
+{
+    RunStats serial_stats;
+    const std::string serial =
+        scenarioJson(GetParam(), 1, &serial_stats);
+    ASSERT_GT(serial_stats.cycles, 0u);
+    RunStats two_stats;
+    const std::string two = scenarioJson(GetParam(), 2, &two_stats);
+    const std::string eight = scenarioJson(GetParam(), 8);
+    EXPECT_EQ(serial, two);
+    EXPECT_EQ(serial, eight);
+    expectIdentical(serial_stats, two_stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, EngineThreadsDeterminism,
+    ::testing::ValuesIn(allKernels()),
     [](const ::testing::TestParamInfo<const KernelInfo*>& info) {
         return info.param->display;
     });

@@ -234,6 +234,47 @@ TEST(Machine, MoreTilesThanVertices)
     EXPECT_EQ(app.gatherValues(machine), referenceBfs(graph, 0));
 }
 
+TEST(Machine, EngineThreadsPreserveResultsAndStats)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup("sssp", graph);
+
+    auto run_with = [&](unsigned engine_threads) {
+        auto app = setup.makeApp();
+        MachineConfig config = config4x4();
+        config.engineThreads = engine_threads;
+        Machine machine(config, graph.numVertices, graph.numEdges);
+        const RunStats stats = machine.run(*app);
+        EXPECT_EQ(app->gatherValues(machine), setup.referenceWords());
+        return stats;
+    };
+    const RunStats serial = run_with(1);
+    // 5 does not divide 16 tiles: shards are uneven, and one shard
+    // spans the grid remainder — the sharding must not matter.
+    const RunStats sharded = run_with(5);
+    EXPECT_EQ(serial.cycles, sharded.cycles);
+    EXPECT_EQ(serial.puOps, sharded.puOps);
+    EXPECT_EQ(serial.noc.flitHops, sharded.noc.flitHops);
+    EXPECT_EQ(serial.invocations, sharded.invocations);
+    EXPECT_EQ(serial.puBusyPerTile, sharded.puBusyPerTile);
+    EXPECT_EQ(serial.noc.deliveryStalls, sharded.noc.deliveryStalls);
+}
+
+TEST(Machine, EngineThreadsClampToTileCount)
+{
+    // More engine threads than tiles: shards clamp to one per tile.
+    const Csr graph = testGraph(8);
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
+    auto app = setup.makeApp();
+    MachineConfig config;
+    config.width = 2;
+    config.height = 2;
+    config.engineThreads = 64;
+    Machine machine(config, graph.numVertices, graph.numEdges);
+    machine.run(*app);
+    EXPECT_EQ(app->gatherValues(machine), setup.referenceWords());
+}
+
 TEST(Machine, CyclesIncludeIdleDetection)
 {
     // An immediately-finished app still pays the idle-tree latency.

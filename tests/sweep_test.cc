@@ -390,6 +390,92 @@ TEST(SweepMain, RejectsBadGridAndUnknownDataset)
     EXPECT_NE(err.find("8x8"), std::string::npos);
 }
 
+TEST(Expand, EngineThreadsAxisMultipliesPoints)
+{
+    Plan plan = miniPlan();
+    plan.engineThreads = {1, 4};
+    const ExpandResult result = expand(plan);
+    ASSERT_TRUE(result.ok) << result.error;
+    // 2 kernels x 2 grids x 2 engine-thread values.
+    ASSERT_EQ(result.points.size(), 8u);
+    EXPECT_EQ(result.points[0].machine.engineThreads, 1u);
+    EXPECT_EQ(result.points[1].machine.engineThreads, 4u);
+
+    plan.engineThreads = {0};
+    EXPECT_FALSE(expand(plan).ok);
+    plan.engineThreads = {};
+    EXPECT_FALSE(expand(plan).ok);
+}
+
+TEST(RunAggregate, EngineThreadsAxisChangesNothingButTheColumn)
+{
+    // The engine contract one level up: points differing only in
+    // engineThreads produce byte-identical stats, so their JSONL rows
+    // differ in nothing but the engine_threads field.
+    Plan plan;
+    plan.kernels = {kernelOrDie("bfs")};
+    plan.datasets = {{"", 8}};
+    plan.grids = {{4, 4}};
+    plan.engineThreads = {1, 4};
+    plan.seed = 3;
+    const RunResult result = run(plan, 1);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_TRUE(result.allRowsOk());
+    const AggregateResult agg =
+        aggregate(result.okReports(), result.baseline);
+    ASSERT_TRUE(agg.ok) << agg.error;
+    ASSERT_EQ(agg.rows.size(), 2u);
+    EXPECT_EQ(agg.rows[0].report.stats.cycles,
+              agg.rows[1].report.stats.cycles);
+
+    std::istringstream jsonl(toJsonl(agg.rows));
+    std::string first;
+    std::string second;
+    ASSERT_TRUE(std::getline(jsonl, first));
+    ASSERT_TRUE(std::getline(jsonl, second));
+    const std::string one = "\"engine_threads\":1";
+    const std::string four = "\"engine_threads\":4";
+    EXPECT_NE(first.find(one), std::string::npos);
+    EXPECT_NE(second.find(four), std::string::npos);
+    second.replace(second.find(four), four.size(), one);
+    EXPECT_EQ(first, second);
+}
+
+TEST(SweepParse, EngineThreadsAndParamFlags)
+{
+    const std::vector<const char*> args = {
+        "sweep",         "--engine-threads", "1,4",
+        "--param",       "damping=0.9,iterations=20",
+        "--pagerank-iters", "7"};
+    const SweepParseResult parsed =
+        parseSweepArgs(static_cast<int>(args.size()), args.data());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const Plan& plan = parsed.options.plan;
+    EXPECT_EQ(plan.engineThreads, (std::vector<unsigned>{1, 4}));
+    ASSERT_EQ(plan.params.size(), 3u);
+    EXPECT_EQ(plan.params[0].name, "damping");
+    EXPECT_DOUBLE_EQ(plan.params[0].value, 0.9);
+    EXPECT_EQ(plan.params[1].name, "iterations");
+    EXPECT_DOUBLE_EQ(plan.params[1].value, 20.0);
+    // --pagerank-iters survives as a deprecated --param alias.
+    EXPECT_EQ(plan.params[2].name, "iterations");
+    EXPECT_DOUBLE_EQ(plan.params[2].value, 7.0);
+
+    std::string out;
+    std::string err;
+    EXPECT_EQ(runSweep({"--engine-threads", "0"}, out, err), 2);
+    EXPECT_NE(err.find("--engine-threads"), std::string::npos);
+    EXPECT_EQ(runSweep({"--param", "frobnicate=1"}, out, err), 2);
+    EXPECT_NE(err.find("frobnicate"), std::string::npos);
+    // An explicit budget below the largest engine-threads value
+    // cannot be honored without oversubscribing: refused.
+    err.clear();
+    EXPECT_EQ(runSweep({"--engine-threads", "8", "--threads", "2"},
+                       out, err),
+              2);
+    EXPECT_NE(err.find("below the largest"), std::string::npos);
+}
+
 TEST(SweepParse, RepeatedAxisFlagsAppendConsistently)
 {
     const std::vector<const char*> args = {
