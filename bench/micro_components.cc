@@ -139,19 +139,71 @@ BM_EndToEndBfs(benchmark::State& state)
     params.edgeFactor = 8;
     const Csr graph = rmatGraph(params);
     const KernelSetup setup = makeKernelSetup("bfs", graph);
+    RunStats stats;
     for (auto _ : state) {
         auto app = setup.makeApp();
         MachineConfig config;
         config.width = 8;
         config.height = 8;
         Machine machine(config, graph.numVertices, graph.numEdges);
-        benchmark::DoNotOptimize(machine.run(*app));
+        stats = machine.run(*app);
+        benchmark::DoNotOptimize(stats);
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         graph.numEdges);
+    // Separate "simulated faster" (sim_cycles) from "simulator ran
+    // faster" (stepped cycles and scan occupancy).
+    state.counters["sim_cycles"] = static_cast<double>(stats.cycles);
+    state.counters["stepped_cycles"] =
+        static_cast<double>(stats.engineSteppedCycles);
+    state.counters["tile_scan_occ"] = stats.tileScanOccupancy();
+    state.counters["router_scan_occ"] = stats.routerScanOccupancy();
 }
 BENCHMARK(BM_EndToEndBfs)->Unit(benchmark::kMillisecond);
+
+/**
+ * Active-set stepping vs the full-scan oracle on one workload
+ * (arg 0 = full, 1 = active). Cycles are identical by contract; the
+ * wall-clock difference and the occupancy counters quantify the
+ * scan work the active sets avoid.
+ */
+void
+BM_EngineScanMode(benchmark::State& state)
+{
+    RmatParams params;
+    params.scale = 10;
+    params.edgeFactor = 8;
+    const Csr graph = rmatGraph(params);
+    const KernelSetup setup = makeKernelSetup("sssp", graph);
+    const auto scan = state.range(0) == 0 ? EngineScan::full
+                                          : EngineScan::active;
+    RunStats stats;
+    for (auto _ : state) {
+        auto app = setup.makeApp();
+        MachineConfig config;
+        config.width = 16;
+        config.height = 16;
+        config.engineScan = scan;
+        Machine machine(config, graph.numVertices, graph.numEdges);
+        stats = machine.run(*app);
+        benchmark::DoNotOptimize(stats);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        graph.numEdges);
+    state.counters["sim_cycles"] = static_cast<double>(stats.cycles);
+    state.counters["stepped_cycles"] =
+        static_cast<double>(stats.engineSteppedCycles);
+    state.counters["tile_scan_occ"] = stats.tileScanOccupancy();
+    state.counters["router_scan_occ"] = stats.routerScanOccupancy();
+    state.counters["tile_visits_saved"] =
+        static_cast<double>(stats.activeTileCyclesSaved);
+}
+BENCHMARK(BM_EngineScanMode)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /** OQT2 sizing ablation (DESIGN.md Sec. 6): cycles vs OQT2. */
 void
@@ -163,7 +215,7 @@ BM_Oqt2Sizing(benchmark::State& state)
     const Csr graph = rmatGraph(params);
     const KernelSetup setup = makeKernelSetup("bfs", graph);
     const auto oqt2 = static_cast<std::uint32_t>(state.range(0));
-    Cycle cycles = 0;
+    RunStats stats;
     for (auto _ : state) {
         auto app = setup.makeApp();
         QueueSizing sizing;
@@ -174,9 +226,12 @@ BM_Oqt2Sizing(benchmark::State& state)
         config.width = 8;
         config.height = 8;
         Machine machine(config, graph.numVertices, graph.numEdges);
-        cycles = machine.run(*app).cycles;
+        stats = machine.run(*app);
     }
-    state.counters["sim_cycles"] = static_cast<double>(cycles);
+    state.counters["sim_cycles"] = static_cast<double>(stats.cycles);
+    state.counters["stepped_cycles"] =
+        static_cast<double>(stats.engineSteppedCycles);
+    state.counters["tile_scan_occ"] = stats.tileScanOccupancy();
 }
 BENCHMARK(BM_Oqt2Sizing)
     ->Arg(16)

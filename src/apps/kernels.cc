@@ -29,6 +29,7 @@ makeKernelSetup(const KernelInfo& kernel, const Csr& base,
     setup.kernel = &kernel;
     setup.damping = kernel.defaults.damping;
     setup.iterations = kernel.defaults.iterations;
+    setup.epsilon = kernel.defaults.epsilon;
 
     const KernelTraits& traits = kernel.traits;
     setup.graph = traits.symmetrize ? symmetrize(base) : base;
@@ -99,9 +100,15 @@ parseParamOverrides(const std::string& text,
                       "[1, 1000], got: " + value;
                 return false;
             }
+        } else if (param.name == "epsilon") {
+            if (!(param.value >= 0.0 && param.value < 1.0)) {
+                err = "--param epsilon must be in [0, 1) "
+                      "(0 disables convergence), got: " + value;
+                return false;
+            }
         } else {
             err = "unknown --param key: " + param.name +
-                  " (damping|iterations)";
+                  " (damping|iterations|epsilon)";
             return false;
         }
         out.push_back(std::move(param));
@@ -120,6 +127,8 @@ applyParamOverrides(KernelSetup& setup,
             setup.damping = param.value;
         else if (param.name == "iterations" && defaults.usesIterations)
             setup.iterations = static_cast<unsigned>(param.value);
+        else if (param.name == "epsilon" && defaults.usesEpsilon)
+            setup.epsilon = param.value;
         // Keys the kernel declares unused are skipped so one --param
         // list can span a multi-kernel sweep.
     }
@@ -177,9 +186,11 @@ defaultValidateWords(const KernelSetup& setup,
     return ValidationResult::pass();
 }
 
+} // namespace
+
 ValidationResult
-defaultValidateFloats(const KernelSetup& setup,
-                      const std::vector<double>& got)
+validateFloatsWithSlack(const KernelSetup& setup,
+                        const std::vector<double>& got, double slack)
 {
     const std::vector<double> want = setup.referenceFloats();
     if (got.size() != want.size()) {
@@ -189,7 +200,7 @@ defaultValidateFloats(const KernelSetup& setup,
         return ValidationResult::fail(0, what.str());
     }
     for (std::size_t v = 0; v < got.size(); ++v) {
-        const double tol = std::max(1e-9, 1e-3 * want[v]);
+        const double tol = std::max(1e-9, 1e-3 * want[v]) + slack;
         if (std::abs(got[v] - want[v]) > tol) {
             std::ostringstream what;
             what << setup.kernel->display << " mismatch at vertex "
@@ -199,8 +210,6 @@ defaultValidateFloats(const KernelSetup& setup,
     }
     return ValidationResult::pass();
 }
-
-} // namespace
 
 ValidationResult
 validateWords(const KernelSetup& setup, const std::vector<Word>& got)
@@ -218,7 +227,7 @@ validateFloats(const KernelSetup& setup,
     panic_if(setup.kernel == nullptr, "KernelSetup has no kernel");
     if (setup.kernel->validateFloats)
         return setup.kernel->validateFloats(setup, got);
-    return defaultValidateFloats(setup, got);
+    return validateFloatsWithSlack(setup, got, 0.0);
 }
 
 ValidationResult

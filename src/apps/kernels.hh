@@ -37,6 +37,7 @@ struct KernelSetup
     VertexId root = 0;   //!< BFS/SSSP source
     double damping = 0.85;    //!< from kernel->defaults
     unsigned iterations = 10; //!< synchronous epochs (PageRank)
+    double epsilon = 0.0;     //!< convergence threshold (0 = off)
 
     /** Whether the result validates as floats (kernel trait). */
     bool
@@ -105,6 +106,17 @@ ValidationResult validateWords(const KernelSetup& setup,
 /** Same for float-valued kernels (1e-3 relative tolerance default). */
 ValidationResult validateFloats(const KernelSetup& setup,
                                 const std::vector<double>& got);
+
+/**
+ * The default float comparison with an extra absolute `slack` added
+ * to every per-vertex tolerance — for kernels whose engine and
+ * reference may legitimately diverge by a bounded amount (PageRank's
+ * convergence-threshold mode stops within O(epsilon) of the
+ * reference). slack == 0 is exactly the default validator.
+ */
+ValidationResult validateFloatsWithSlack(const KernelSetup& setup,
+                                         const std::vector<double>& got,
+                                         double slack);
 
 /**
  * Gather the app's result from `machine` (words or floats per the

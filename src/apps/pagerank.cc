@@ -100,15 +100,33 @@ pagerankKernelInfo()
     info.traits.tesseract = TesseractModel::pagerank;
     info.defaults.damping = 0.85;
     info.defaults.iterations = 10;
+    info.defaults.epsilon = 0.0; // fixed iterations by default
     info.defaults.usesDamping = true;
     info.defaults.usesIterations = true;
+    info.defaults.usesEpsilon = true;
     info.factory = [](const KernelSetup& setup) {
-        return std::make_unique<PageRankApp>(
+        auto app = std::make_unique<PageRankApp>(
             setup.graph, setup.damping, setup.iterations);
+        if (setup.epsilon > 0.0)
+            app->setConvergence(setup.epsilon);
+        return app;
     };
     info.referenceFloats = [](const KernelSetup& setup) {
-        return referencePageRank(setup.graph, setup.damping,
-                                 setup.iterations);
+        return referencePageRankConverged(setup.graph, setup.damping,
+                                          setup.iterations,
+                                          setup.epsilon);
+    };
+    // With a convergence threshold the engine (float32 deltas, push
+    // order of the chip) and the reference (double deltas) may stop
+    // one epoch apart around the cutoff; both are then within
+    // O(epsilon) of each other, so the default comparison widens by
+    // an epsilon-scaled margin. epsilon == 0 is exactly the default
+    // validator.
+    info.validateFloats = [](const KernelSetup& setup,
+                             const std::vector<double>& got) {
+        return validateFloatsWithSlack(
+            setup, got,
+            setup.epsilon > 0.0 ? 4.0 * setup.epsilon : 0.0);
     };
     return info;
 }

@@ -103,17 +103,24 @@ struct KernelDefaults
 {
     double damping = 0.85;    //!< PageRank damping factor d
     unsigned iterations = 10; //!< synchronous epoch budget
-    /** Whether damping/iterations are meaningful for this kernel
-     *  (drives --list-kernels and which --param keys apply). */
+    /** Convergence threshold: stop once an epoch's largest
+     *  per-vertex change falls below it (0 = fixed iterations;
+     *  `iterations` stays the hard upper bound). */
+    double epsilon = 0.0;
+    /** Whether damping/iterations/epsilon are meaningful for this
+     *  kernel (drives --list-kernels and which --param keys
+     *  apply). */
     bool usesDamping = false;
     bool usesIterations = false;
+    bool usesEpsilon = false;
 };
 
 /**
  * One `--param name=value` override (CLI and sweep). The key set is
- * the KernelDefaults fields ("damping", "iterations"); overrides for
- * keys a kernel declares unused are ignored, so one --param can span
- * a multi-kernel sweep. Parsed and applied in apps/kernels.hh.
+ * the KernelDefaults fields ("damping", "iterations", "epsilon");
+ * overrides for keys a kernel declares unused are ignored, so one
+ * --param can span a multi-kernel sweep. Parsed and applied in
+ * apps/kernels.hh.
  */
 struct ParamOverride
 {

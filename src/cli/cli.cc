@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -102,6 +103,19 @@ parsePolicy(const std::string& text, SchedPolicy& out)
 }
 
 bool
+parseEngineScan(const std::string& text, EngineScan& out)
+{
+    const std::string s = toLower(text);
+    if (s == "full")
+        out = EngineScan::full;
+    else if (s == "active")
+        out = EngineScan::active;
+    else
+        return false;
+    return true;
+}
+
+bool
 parseDistribution(const std::string& text, Distribution& out)
 {
     const std::string d = toLower(text);
@@ -127,7 +141,8 @@ parseArgs(int argc, const char* const* argv)
             "--topology",     "--ruche-factor", "--policy",
             "--distribution", "--scale",        "--dataset",
             "--seed",         "--invoke-overhead", "--max-cycles",
-            "--engine-threads", "--param",      "--pagerank-iters",
+            "--engine-threads", "--engine-scan", "--param",
+            "--pagerank-iters",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -192,6 +207,10 @@ parseArgs(int argc, const char* const* argv)
                 return fail("--engine-threads must be in [1, 256], "
                             "got " + value);
             o.machine.engineThreads = threads;
+        } else if (flag == "--engine-scan") {
+            if (!parseEngineScan(value, o.machine.engineScan))
+                return fail("--engine-scan must be full|active, got " +
+                            value);
         } else if (flag == "--param") {
             std::string err;
             if (!parseParamOverrides(value, o.params, err))
@@ -221,6 +240,8 @@ parseArgs(int argc, const char* const* argv)
                 return fail("--seed must be an integer, got " + value);
         } else if (flag == "--json") {
             o.json = true;
+        } else if (flag == "--time-engine") {
+            o.timeEngine = true;
         } else if (flag == "--validate") {
             o.validate = true;
         } else if (flag == "--list-datasets") {
@@ -280,11 +301,22 @@ usageText()
         "  --engine-threads N   engine worker threads [1, 256]\n"
         "                       (default 1; stats are byte-identical\n"
         "                       for every N)\n"
+        "  --engine-scan M      full|active (default active): step\n"
+        "                       only the active tile/router worklists\n"
+        "                       or keep the exhaustive per-cycle scan\n"
+        "                       as a reference oracle; stats are\n"
+        "                       byte-identical for both\n"
+        "  --time-engine        print the engine-loop wall time to\n"
+        "                       stderr (engine_wall_seconds X); the\n"
+        "                       stdout report stays byte-identical\n"
         "\n"
         "kernel parameters:\n"
         "  --param K=V,...      override kernel defaults, e.g.\n"
-        "                       damping=0.9,iterations=20; keys a\n"
-        "                       kernel does not use are skipped\n"
+        "                       damping=0.9,iterations=20,\n"
+        "                       epsilon=1e-5 (PageRank convergence\n"
+        "                       stop; iterations stays the cap);\n"
+        "                       keys a kernel does not use are\n"
+        "                       skipped\n"
         "  --pagerank-iters N   deprecated alias for\n"
         "                       --param iterations=N\n"
         "\n"
@@ -338,6 +370,12 @@ kernelListText()
         if (kernel->defaults.usesIterations)
             out << "; " << kernel->defaults.iterations
                 << " epochs default";
+        if (kernel->defaults.usesEpsilon)
+            out << "; epsilon "
+                << (kernel->defaults.epsilon > 0.0
+                        ? std::to_string(kernel->defaults.epsilon)
+                        : std::string("off"))
+                << " (convergence stop)";
         if (!kernel->tags.empty()) {
             out << "\n      figure sets: ";
             for (std::size_t i = 0; i < kernel->tags.size(); ++i)
@@ -415,7 +453,12 @@ runScenario(const Options& options)
     auto app = setup.makeApp();
     Machine machine(options.machine, setup.graph.numVertices,
                     setup.graph.numEdges);
+    const auto engine_start = std::chrono::steady_clock::now();
     report.stats = machine.run(*app);
+    report.engineWallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - engine_start)
+            .count();
 
     if (options.validate) {
         const ValidationResult valid =
@@ -460,7 +503,9 @@ renderJson(const Report& report)
         << ","
         << "\"invoke_overhead\":" << o.machine.invokeOverhead << ","
         << "\"engine_threads\":"
-        << std::max(1u, o.machine.engineThreads) << "},";
+        << std::max(1u, o.machine.engineThreads) << ","
+        << "\"engine_scan\":\"" << toString(o.machine.engineScan)
+        << "\"},";
     out << "\"stats\":{"
         << "\"cycles\":" << s.cycles << ","
         << "\"epochs\":" << s.epochs << ","
@@ -483,7 +528,24 @@ renderJson(const Report& report)
         << "\"flit_hops\":" << s.noc.flitHops << ","
         << "\"flit_wire_tiles\":" << s.noc.flitWireTiles << ","
         << "\"router_passages\":" << s.noc.routerPassages << ","
-        << "\"delivery_stalls\":" << s.noc.deliveryStalls << "}},";
+        << "\"delivery_stalls\":" << s.noc.deliveryStalls << "},"
+        // Simulator execution metrics: how much scan work the engine
+        // itself did. These vary with --engine-scan (and are the only
+        // stats that may), so the determinism suite normalizes them
+        // out before byte-comparing reports.
+        << "\"engine\":{"
+        << "\"stepped_cycles\":" << s.engineSteppedCycles << ","
+        << "\"noc_stepped_cycles\":" << s.nocSteppedCycles << ","
+        << "\"tile_scans\":" << s.tileScans << ","
+        << "\"router_scans\":" << s.routerScans << ","
+        << "\"active_tile_cycles_saved\":" << s.activeTileCyclesSaved
+        << ","
+        << "\"active_router_cycles_saved\":"
+        << s.activeRouterCyclesSaved << ","
+        << "\"tile_scan_occupancy\":"
+        << Table::num(s.tileScanOccupancy()) << ","
+        << "\"router_scan_occupancy\":"
+        << Table::num(s.routerScanOccupancy()) << "}},";
     out << "\"energy\":{"
         << "\"logic_j\":" << Table::num(report.energy.logicJ) << ","
         << "\"memory_j\":" << Table::num(report.energy.memoryJ) << ","
@@ -530,6 +592,12 @@ renderText(const Report& report)
     out << "NoC               " << s.noc.messagesDelivered
         << " msgs, " << s.noc.flitHops << " flit-hops, "
         << s.noc.deliveryStalls << " stalls\n";
+    out << "engine scan       " << toString(o.machine.engineScan)
+        << ": " << s.engineSteppedCycles << " of " << s.cycles
+        << " cycles stepped, tile occupancy "
+        << Table::num(100.0 * s.tileScanOccupancy())
+        << " %, router occupancy "
+        << Table::num(100.0 * s.routerScanOccupancy()) << " %\n";
     out << "energy            "
         << Table::num(report.energy.totalJ() * 1e3) << " mJ (logic "
         << Table::num(report.energy.logicPct()) << " %, memory "
@@ -567,6 +635,9 @@ cliMain(int argc, const char* const* argv, std::ostream& out,
         err << "dalorex: " << outcome.error << "\n";
         return 2;
     }
+    if (parsed.options.timeEngine)
+        err << "engine_wall_seconds "
+            << outcome.report.engineWallSeconds << "\n";
     out << (parsed.options.json ? renderJson(outcome.report)
                                 : renderText(outcome.report));
     return 0;

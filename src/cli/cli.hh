@@ -46,6 +46,10 @@ struct Options
     std::vector<ParamOverride> params;
     std::uint64_t seed = 1;   //!< dataset/weight seed
     bool json = false;        //!< emit JSON instead of text
+    /** Print the engine-loop wall time to stderr (one line,
+     *  `engine_wall_seconds X`): perf tooling reads it without
+     *  disturbing the byte-identical stdout contract. */
+    bool timeEngine = false;
     bool validate = false;    //!< check against sequential reference
     bool help = false;        //!< --help was requested
     bool listDatasets = false; //!< --list-datasets was requested
@@ -84,6 +88,7 @@ bool parseKernel(const std::string& text, const KernelInfo*& out);
 bool parseTopology(const std::string& text, NocTopology& out);
 bool parsePolicy(const std::string& text, SchedPolicy& out);
 bool parseDistribution(const std::string& text, Distribution& out);
+bool parseEngineScan(const std::string& text, EngineScan& out);
 
 /** Parse a decimal unsigned integer; false on junk or overflow. */
 bool parseU64(const std::string& text, std::uint64_t& out);
@@ -103,6 +108,13 @@ struct Report
     EnergyBreakdown energy;
     double seconds = 0.0;
     double bandwidthBytesPerSec = 0.0;
+    /** Host wall time of Machine::run alone (simulator speed). Not
+     *  rendered in the JSON/text reports, which therefore stay
+     *  byte-identical across reruns of the same scenario; between
+     *  --engine-scan modes the reports differ only in the
+     *  engine_scan field and the stats.engine scan counters, which
+     *  determinism_test and tools/bench_pr5.py normalize out. */
+    double engineWallSeconds = 0.0;
     bool validated = false;
 };
 

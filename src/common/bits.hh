@@ -7,7 +7,9 @@
 #define DALOREX_COMMON_BITS_HH
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -62,6 +64,49 @@ constexpr std::uint32_t
 maskOutBit(std::uint32_t word, unsigned bit)
 {
     return word & ~(std::uint32_t(1) << bit);
+}
+
+/**
+ * Intrusive bitmap worklist: the membership structure of the
+ * engine's active-set scheduling (one bit per tile/router of a
+ * shard's range). Adding is an O(1) idempotent bit-set; sweeping
+ * walks the set bits in ascending index order — the prefetch
+ * pattern of a full scan, minus the inactive members.
+ */
+
+/** Queue index `i` on the worklist (idempotent). */
+inline void
+worklistAdd(std::vector<std::uint64_t>& mask, std::size_t i)
+{
+    mask[i >> 6] |= std::uint64_t(1) << (i & 63);
+}
+
+/**
+ * Visit every queued index in ascending order; `visit(i)` returns
+ * whether the index stays queued (deferred removal). Words ahead of
+ * the walk must not change mid-sweep — the engine guarantees this
+ * because a member's visit never activates *other* members of the
+ * same worklist (and cross-shard activity is staged to the serial
+ * commit).
+ */
+template <typename VisitFn>
+inline void
+worklistSweep(std::vector<std::uint64_t>& mask, VisitFn&& visit)
+{
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+        std::uint64_t bits = mask[w];
+        if (bits == 0)
+            continue;
+        std::uint64_t keep = bits;
+        do {
+            const unsigned b =
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (!visit((w << 6) + b))
+                keep &= ~(std::uint64_t(1) << b);
+        } while (bits != 0);
+        mask[w] = keep;
+    }
 }
 
 } // namespace dalorex

@@ -1,5 +1,7 @@
 #include "graph/reference.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <deque>
 #include <queue>
 
@@ -92,6 +94,13 @@ referenceWcc(const Csr& graph)
 std::vector<double>
 referencePageRank(const Csr& graph, double damping, unsigned iterations)
 {
+    return referencePageRankConverged(graph, damping, iterations, 0.0);
+}
+
+std::vector<double>
+referencePageRankConverged(const Csr& graph, double damping,
+                           unsigned iterations, double epsilon)
+{
     const auto n = static_cast<double>(graph.numVertices);
     std::vector<double> rank(graph.numVertices, 1.0 / n);
     std::vector<double> acc(graph.numVertices, 0.0);
@@ -107,8 +116,15 @@ referencePageRank(const Csr& graph, double damping, unsigned iterations)
                 acc[graph.colIdx[i]] += contrib;
             }
         }
-        for (VertexId v = 0; v < graph.numVertices; ++v)
-            rank[v] = (1.0 - damping) / n + damping * acc[v];
+        double max_delta = 0.0;
+        for (VertexId v = 0; v < graph.numVertices; ++v) {
+            const double next = (1.0 - damping) / n + damping * acc[v];
+            max_delta = std::max(max_delta,
+                                 std::abs(next - rank[v]));
+            rank[v] = next;
+        }
+        if (epsilon > 0.0 && max_delta < epsilon)
+            break; // converged: same rule the host applies on-chip
     }
     return rank;
 }

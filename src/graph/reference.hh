@@ -48,6 +48,21 @@ std::vector<double> referencePageRank(const Csr& graph, double damping,
                                       unsigned iterations);
 
 /**
+ * Same, with the convergence-threshold stopping rule of
+ * PageRankApp::setConvergence: stop after the first epoch whose
+ * largest per-vertex rank change falls below `epsilon` (`iterations`
+ * stays the hard upper bound; epsilon <= 0 disables the rule). The
+ * engine evaluates the same criterion on float32 ranks, so the two
+ * may stop one epoch apart near the threshold — validation for the
+ * epsilon mode therefore compares within an epsilon-scaled
+ * tolerance, not the exact-epoch 1e-3 default.
+ */
+std::vector<double> referencePageRankConverged(const Csr& graph,
+                                               double damping,
+                                               unsigned iterations,
+                                               double epsilon);
+
+/**
  * SPMV y = A*x with A stored column-major in the CSR arrays: rowPtr
  * indexes columns, colIdx holds row ids, weights holds values. Integer
  * math (exact under any accumulation order). Requires weights.

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace dalorex
@@ -74,12 +75,32 @@ Network::setNumShards(unsigned shards)
     const unsigned n =
         std::max(1u, std::min<unsigned>(shards, tiles));
     shards_.assign(n, Shard{});
+    routerShard_.assign(tiles, 0);
     for (unsigned s = 0; s < n; ++s) {
         shards_[s].beginRouter =
             static_cast<TileId>(std::uint64_t(tiles) * s / n);
         shards_[s].endRouter =
             static_cast<TileId>(std::uint64_t(tiles) * (s + 1) / n);
+        for (TileId r = shards_[s].beginRouter;
+             r < shards_[s].endRouter; ++r)
+            routerShard_[r] = s;
+        shards_[s].activeMask.assign(
+            (shards_[s].endRouter - shards_[s].beginRouter + 63) / 64,
+            0);
     }
+    // Resharding discards the previous worklists; rebuild membership
+    // from the occupancy ground truth.
+    for (TileId r = 0; r < routers_.size(); ++r) {
+        if (routers_[r].occupancy != 0)
+            activateRouter(r);
+    }
+}
+
+void
+Network::activateRouter(TileId router_id)
+{
+    Shard& shard = shards_[routerShard_[router_id]];
+    worklistAdd(shard.activeMask, router_id - shard.beginRouter);
 }
 
 void
@@ -133,6 +154,7 @@ Network::tryInject(const Message& msg, TileId src, Cycle now,
                              msg.channel);
     router.injectFreeAt = now + msg.numWords;
     router.wakeAt = 0;
+    activateRouter(src);
     inFlight_.fetch_add(1, std::memory_order_relaxed);
     ++shards_[shard].stats.messagesInjected;
     markActive(src, now, msg.numWords);
@@ -216,63 +238,91 @@ Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
 }
 
 void
-Network::stepCompute(unsigned shard_index, Cycle now)
+Network::computeRouter(TileId r, Cycle now, Shard& shard)
 {
-    Shard& shard = shards_[shard_index];
     const unsigned channels = config_.numChannels;
     const unsigned pairs = numPorts * channels;
 
-    for (TileId r = shard.beginRouter; r < shard.endRouter; ++r) {
-        Router& router = routers_[r];
-        const std::uint64_t pending =
-            router.occupancy & ~router.blocked;
-        if (pending == 0 || router.wakeAt > now)
-            continue;
-        if (now >= router.deferUntil) {
-            // The earliest timed defer matured: rescan the whole set.
-            router.deferMask = 0;
-            router.deferUntil = neverCycle;
-        }
-        const std::uint64_t scannable = pending & ~router.deferMask;
-        if (scannable == 0) {
-            router.wakeAt = router.deferUntil;
-            continue;
-        }
-        // Round-robin arbitration: rotate the scan starting point so no
-        // (port, channel) pair gets static priority.
-        const unsigned shift =
-            static_cast<unsigned>((now + r) % pairs);
-        const std::uint64_t mask = (pairs >= 64)
-                                       ? ~std::uint64_t(0)
-                                       : ((std::uint64_t(1) << pairs) -
-                                          1);
-        std::uint64_t rotated =
-            ((scannable >> shift) | (scannable << (pairs - shift))) &
-            mask;
-        bool moved = false;
-        while (rotated != 0) {
-            const unsigned bit =
-                static_cast<unsigned>(std::countr_zero(rotated));
-            rotated &= rotated - 1;
-            const unsigned pair = (bit + shift) % pairs;
-            const auto in_port = static_cast<Port>(pair / channels);
-            const auto channel =
-                static_cast<ChannelId>(pair % channels);
-            Cycle retry_at = neverCycle;
-            if (tryMove(r, in_port, channel, now, shard, retry_at)) {
-                moved = true;
-            } else if (retry_at != neverCycle) {
-                router.deferMask |= std::uint64_t(1) << pair;
-                router.deferUntil =
-                    std::min(router.deferUntil, retry_at);
-            }
-        }
-        // A move leaves successor heads (and freshly freed links)
-        // worth rescanning next cycle; otherwise sleep until the
-        // earliest timed retry. Event-driven sleepers (`blocked`)
-        // re-arm wakeAt through their wake.
-        router.wakeAt = moved ? now + 1 : router.deferUntil;
+    Router& router = routers_[r];
+    const std::uint64_t pending =
+        router.occupancy & ~router.blocked;
+    if (pending == 0 || router.wakeAt > now)
+        return;
+    if (now >= router.deferUntil) {
+        // The earliest timed defer matured: rescan the whole set.
+        router.deferMask = 0;
+        router.deferUntil = neverCycle;
     }
+    const std::uint64_t scannable = pending & ~router.deferMask;
+    if (scannable == 0) {
+        router.wakeAt = router.deferUntil;
+        return;
+    }
+    // Round-robin arbitration: rotate the scan starting point so no
+    // (port, channel) pair gets static priority.
+    const unsigned shift =
+        static_cast<unsigned>((now + r) % pairs);
+    const std::uint64_t mask = (pairs >= 64)
+                                   ? ~std::uint64_t(0)
+                                   : ((std::uint64_t(1) << pairs) -
+                                      1);
+    std::uint64_t rotated =
+        ((scannable >> shift) | (scannable << (pairs - shift))) &
+        mask;
+    bool moved = false;
+    while (rotated != 0) {
+        const unsigned bit =
+            static_cast<unsigned>(std::countr_zero(rotated));
+        rotated &= rotated - 1;
+        const unsigned pair = (bit + shift) % pairs;
+        const auto in_port = static_cast<Port>(pair / channels);
+        const auto channel =
+            static_cast<ChannelId>(pair % channels);
+        Cycle retry_at = neverCycle;
+        if (tryMove(r, in_port, channel, now, shard, retry_at)) {
+            moved = true;
+        } else if (retry_at != neverCycle) {
+            router.deferMask |= std::uint64_t(1) << pair;
+            router.deferUntil =
+                std::min(router.deferUntil, retry_at);
+        }
+    }
+    // A move leaves successor heads (and freshly freed links)
+    // worth rescanning next cycle; otherwise sleep until the
+    // earliest timed retry. Event-driven sleepers (`blocked`)
+    // re-arm wakeAt through their wake.
+    router.wakeAt = moved ? now + 1 : router.deferUntil;
+}
+
+void
+Network::stepCompute(unsigned shard_index, Cycle now)
+{
+    Shard& shard = shards_[shard_index];
+
+    if (config_.scanMode == EngineScan::full) {
+        // Reference oracle: visit every router, every cycle.
+        shard.routerScans += shard.endRouter - shard.beginRouter;
+        for (TileId r = shard.beginRouter; r < shard.endRouter; ++r)
+            computeRouter(r, now, shard);
+        return;
+    }
+
+    // Active-set scan. Occupancy only clears in the serial commit
+    // (pops are staged), so check-then-compute is exact: a router
+    // that drained last commit is swept here, and one that refills
+    // during the next commit is re-queued by the push's
+    // activateRouter before the sweep could go stale. Compute never
+    // activates other routers of this shard mid-sweep (pushes are
+    // staged), satisfying the sweep's precondition.
+    worklistSweep(shard.activeMask, [&](std::size_t off) {
+        ++shard.routerScans;
+        const TileId r =
+            shard.beginRouter + static_cast<TileId>(off);
+        if (routers_[r].occupancy == 0)
+            return false; // deferred removal
+        computeRouter(r, now, shard);
+        return true;
+    });
 }
 
 void
@@ -302,6 +352,11 @@ Network::stepCommit(Cycle)
                     up.blocked &= ~up.waiters[slot];
                     up.waiters[slot] = 0;
                     up.wakeAt = 0;
+                    // A blocked head implies occupancy, so the
+                    // upstream router is already listed; this re-add
+                    // is a defensive no-op that keeps the invariant
+                    // local to the wake.
+                    activateRouter(router.neighborId[pop.inPort]);
                 }
             } else if (router.injectBlocked &
                        (std::uint8_t(1) << pop.channel)) {
@@ -320,6 +375,7 @@ Network::stepCommit(Cycle)
                 std::uint64_t(1) << (push.inPort * channels +
                                      push.entry.msg.channel);
             dst.wakeAt = 0;
+            activateRouter(push.router);
         }
         shard.pushes.clear();
     }
@@ -333,6 +389,15 @@ Network::step(Cycle now)
     for (unsigned s = 0; s < shards_.size(); ++s)
         stepCompute(s, now);
     stepCommit(now);
+}
+
+std::uint64_t
+Network::routerScans() const
+{
+    std::uint64_t scans = 0;
+    for (const Shard& shard : shards_)
+        scans += shard.routerScans;
+    return scans;
 }
 
 NocStats

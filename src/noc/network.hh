@@ -30,6 +30,14 @@
  * the result is byte-identical for any shard count — step() is the
  * one-shard special case, not a separate semantics.
  *
+ * The compute phase is event-driven (NocConfig::scanMode): each shard
+ * keeps an active-router worklist holding exactly the routers with a
+ * buffered message, maintained where messages appear (injections
+ * during the tile phase, staged pushes and wakes during the serial
+ * commit) and swept lazily when a router drains. Quiet regions of
+ * the grid therefore cost nothing per cycle; `full` mode keeps the
+ * exhaustive range scan as a byte-identical reference oracle.
+ *
  * Simplifications vs RTL (documented in DESIGN.md): buffers are counted
  * in message slots rather than a shared per-direction flit pool, and a
  * link serializes whole messages across channels instead of
@@ -64,6 +72,13 @@ struct NocConfig
     std::array<std::uint8_t, maxChannels> msgWords = {3, 2, 0, 0};
     /** Capacity of each (input port, channel) buffer, in messages. */
     std::uint32_t bufferSlots = 4;
+    /**
+     * Compute-phase scan mode (simulator only; never changes timing
+     * or stats): `active` walks per-shard active-router worklists —
+     * a router is on one iff any of its buffers holds a message —
+     * `full` keeps the exhaustive range scan as a reference oracle.
+     */
+    EngineScan scanMode = EngineScan::active;
 };
 
 /** Aggregate NoC activity counters (feed the energy model). */
@@ -157,6 +172,10 @@ class Network
     /** Aggregate counters, merged over shards (cheap; call freely
      *  between cycles). */
     NocStats stats() const;
+
+    /** Router visits performed by all compute phases so far — the
+     *  scan-occupancy numerator (simulator metric, not timing). */
+    std::uint64_t routerScans() const;
 
     const Topology& topology() const { return topo_; }
     const NocConfig& config() const { return config_; }
@@ -331,9 +350,34 @@ class Network
         std::vector<StagedPop> pops;
         std::vector<StagedPush> pushes;
         NocStats stats;
+        /**
+         * Active-router worklist (EngineScan::active), an intrusive
+         * bitmap over the shard's router range (bit r - beginRouter).
+         * Invariant between cycles: every router with occupancy != 0
+         * has its bit set. Bits are set where buffered messages
+         * appear — successful injections (owning shard's worker) and
+         * the serial commit's staged pushes — and cleared by the
+         * deferred-removal sweep at the next visit of a drained
+         * router, which is safe under the two-phase commit because
+         * pops (the only way occupancy clears) apply serially
+         * between compute phases. Bitmap order keeps the scan in
+         * ascending router order, matching the full scan's walk.
+         */
+        std::vector<std::uint64_t> activeMask;
+        /** Router visits performed (whole-run accumulator). */
+        std::uint64_t routerScans = 0;
     };
 
     void markActive(TileId router, Cycle now, unsigned len);
+    /**
+     * Queue a router on its shard's active worklist (no-op for
+     * members). Called where buffered messages appear: successful
+     * injections (owning shard's worker) and the serial commit's
+     * staged pushes and wakes.
+     */
+    void activateRouter(TileId router);
+    /** Scan one router's movable heads (the compute-phase body). */
+    void computeRouter(TileId router_id, Cycle now, Shard& shard);
     /**
      * Attempt one head move during compute. Returns true if the head
      * moved (its pop is staged). On a timed failure, lowers `retryAt`
@@ -355,6 +399,8 @@ class Network
     std::vector<Cycle> routerActive_;
     std::vector<Cycle> routerActiveUntil_;
     std::vector<Shard> shards_;
+    /** router -> owning shard (active-list insertion). */
+    std::vector<std::uint32_t> routerShard_;
     std::atomic<std::uint64_t> inFlight_{0};
 };
 

@@ -25,6 +25,27 @@ RunStats::utilization() const
             static_cast<double>(puBusyPerTile.size()));
 }
 
+double
+RunStats::tileScanOccupancy() const
+{
+    const std::uint64_t denominator = tileScans + activeTileCyclesSaved;
+    if (denominator == 0)
+        return 0.0;
+    return static_cast<double>(tileScans) /
+           static_cast<double>(denominator);
+}
+
+double
+RunStats::routerScanOccupancy() const
+{
+    const std::uint64_t denominator =
+        routerScans + activeRouterCyclesSaved;
+    if (denominator == 0)
+        return 0.0;
+    return static_cast<double>(routerScans) /
+           static_cast<double>(denominator);
+}
+
 // ---------------------------------------------------------------- TaskCtx
 
 TaskCtx::TaskCtx(Machine& machine, Tile& tile, std::uint32_t task,
@@ -254,7 +275,18 @@ Machine::buildShards(unsigned shards)
             static_cast<TileId>(std::uint64_t(tiles) * (s + 1) / n);
         for (TileId t = shard.beginTile; t < shard.endTile; ++t)
             tileShard_[t] = s;
+        shard.activeMask.assign(
+            (shard.endTile - shard.beginTile + 63) / 64, 0);
     }
+}
+
+void
+Machine::activateTile(TileId t)
+{
+    if (shards_.empty())
+        return; // pre-run call; the initial sweep in run() covers it
+    ShardCtx& shard = shards_[tileShard_[t]];
+    worklistAdd(shard.activeMask, t - shard.beginTile);
 }
 
 void
@@ -276,6 +308,7 @@ Machine::seed(TileId tile_id, TaskId task, std::initializer_list<Word> words)
     ++tile.pendingIqEntries;
     ++pendingIq_;
     tile.schedStalled = false;
+    activateTile(tile_id);
 }
 
 void
@@ -290,6 +323,7 @@ Machine::hostCharge(TileId tile_id, std::uint32_t ops,
     tile.pu.ops += ops;
     tile.pu.sramReads += reads;
     tile.pu.sramWrites += writes;
+    activateTile(tile_id);
 }
 
 bool
@@ -309,6 +343,7 @@ Machine::deliver(const Message& msg)
     shard.tsuWrites += def.numWords;
     shard.progressed = true;
     tile.schedStalled = false; // new input may unblock the TSU
+    activateTile(msg.dest);
     return true;
 }
 
@@ -430,30 +465,57 @@ Machine::stepPu(Tile& tile, Cycle now, ShardCtx& shard)
 }
 
 void
+Machine::stepTile(Tile& tile, Cycle now, ShardCtx& shard)
+{
+    if (!tile.quiet(now)) {
+        injectFromCqs(tile, now, shard);
+        stepPu(tile, now, shard);
+    }
+    // Idle/fast-forward aggregates, maintained here so the serial
+    // part of the loop is O(shards), not O(tiles). Quiet tiles
+    // contribute nothing (busyUntil <= now, no pending CQ), which is
+    // what makes the active-set scan aggregate-equivalent to the
+    // full one.
+    const Cycle busy = tile.pu.busyUntil;
+    if (busy > shard.maxBusyUntil)
+        shard.maxBusyUntil = busy;
+    if (busy > now && busy < shard.nextEvent)
+        shard.nextEvent = busy;
+    if (tile.pendingCqEntries > 0) {
+        const Cycle free_at = network_->injectFreeAt(tile.id);
+        if (free_at > now && free_at < shard.nextEvent)
+            shard.nextEvent = free_at;
+    }
+}
+
+void
 Machine::tilePhase(unsigned shard_index, Cycle now)
 {
     ShardCtx& shard = shards_[shard_index];
     shard.maxBusyUntil = 0;
     shard.nextEvent = neverCycle;
-    for (TileId t = shard.beginTile; t < shard.endTile; ++t) {
-        Tile& tile = tiles_[t];
-        if (!tile.quiet(now)) {
-            injectFromCqs(tile, now, shard);
-            stepPu(tile, now, shard);
-        }
-        // Idle/fast-forward aggregates, maintained here so the serial
-        // part of the loop is O(shards), not O(tiles).
-        const Cycle busy = tile.pu.busyUntil;
-        if (busy > shard.maxBusyUntil)
-            shard.maxBusyUntil = busy;
-        if (busy > now && busy < shard.nextEvent)
-            shard.nextEvent = busy;
-        if (tile.pendingCqEntries > 0) {
-            const Cycle free_at = network_->injectFreeAt(t);
-            if (free_at > now && free_at < shard.nextEvent)
-                shard.nextEvent = free_at;
-        }
+
+    if (config_.engineScan == EngineScan::full) {
+        // Reference oracle: visit every tile, every cycle.
+        shard.tileScans += shard.endTile - shard.beginTile;
+        for (TileId t = shard.beginTile; t < shard.endTile; ++t)
+            stepTile(tiles_[t], now, shard);
+        return;
     }
+
+    // Active-set scan: visit only the queued tiles, dropping every
+    // tile that is quiet after its step (activity created later
+    // re-queues it through activateTile). The no-mid-sweep-growth
+    // precondition holds because a tile's step never activates
+    // *other* tiles — all task effects are tile-local and
+    // deliveries happen in the NoC phase.
+    worklistSweep(shard.activeMask, [&](std::size_t off) {
+        ++shard.tileScans;
+        Tile& tile =
+            tiles_[shard.beginTile + static_cast<TileId>(off)];
+        stepTile(tile, now, shard);
+        return !tile.quiet(now);
+    });
 }
 
 RunStats
@@ -474,6 +536,7 @@ Machine::run(App& app)
     noc_config.height = config_.height;
     noc_config.rucheFactor = config_.rucheFactor;
     noc_config.bufferSlots = config_.nocBufferSlots;
+    noc_config.scanMode = config_.engineScan;
     noc_config.numChannels =
         std::max<std::uint32_t>(1,
                                 static_cast<std::uint32_t>(
@@ -493,6 +556,14 @@ Machine::run(App& app)
 
     app.start(*this);
 
+    // Establish the worklist invariant before the first cycle: every
+    // non-quiet tile — whatever path configure()/start() used to
+    // touch it — is queued on its shard.
+    for (TileId t = 0; t < tiles_.size(); ++t) {
+        if (!tiles_[t].quiet(0))
+            activateTile(t);
+    }
+
     const bool use_barrier = config_.barrier || app.needsBarrier();
     const Cycle idle_latency =
         2 * log2Ceil(std::max<std::uint64_t>(2, config_.numTiles())) + 2;
@@ -507,7 +578,9 @@ Machine::run(App& app)
     WorkerCrew crew(num_shards);
 
     for (now_ = 0;; ++now_) {
+        ++stats_.engineSteppedCycles;
         if (!network_->quiescent()) {
+            ++stats_.nocSteppedCycles;
             if (num_shards == 1) {
                 network_->stepCompute(0, now_);
             } else {
@@ -567,7 +640,11 @@ Machine::run(App& app)
         // the next timed event — a PU completing its task or an
         // injection port finishing serialization. Jump there. (Every
         // other wake-up is event-driven and thus implies activity.)
-        // The per-shard aggregates make this O(shards), not O(tiles).
+        // The per-shard aggregates make this O(shards), not O(tiles);
+        // with the active-set scan the skipped window costs nothing —
+        // a fully-idle barrier/drain window is crossed in one step,
+        // and when no shard has an active member at all the cycle
+        // lands directly on allIdle() above.
         if (network_->quiescent() && lastProgress_ != now_ &&
             next_event != neverCycle && next_event > now_ + 1) {
             now_ = next_event - 1; // loop increment lands on `next`
@@ -597,7 +674,15 @@ Machine::run(App& app)
         stats_.tsuWrites += shard.tsuWrites;
         stats_.localBypassMsgs += shard.localBypassMsgs;
         stats_.edgesProcessed += shard.edgesProcessed;
+        stats_.tileScans += shard.tileScans;
     }
+    // Scan-occupancy: the visits a full scan would have performed
+    // minus the visits actually performed (exactly 0 in full mode).
+    stats_.routerScans = network_->routerScans();
+    stats_.activeTileCyclesSaved =
+        stats_.engineSteppedCycles * tiles_.size() - stats_.tileScans;
+    stats_.activeRouterCyclesSaved =
+        stats_.nocSteppedCycles * tiles_.size() - stats_.routerScans;
     stats_.noc = network_->stats();
     stats_.routerActivePerTile = network_->routerActiveCycles();
     return stats_;

@@ -21,6 +21,18 @@
  * RunStats are byte-identical for every engineThreads value — the
  * serial engine is simply the one-shard case.
  *
+ * Stepping is event-driven (EngineScan::active): each shard keeps an
+ * intrusive active-tile worklist — a tile is on it iff its PU is
+ * busy, it has pending IQ entries or pending CQ entries — maintained
+ * incrementally at the exact points activity is created (deliveries,
+ * seeds, host epoch charges; a stepped tile's own pushes keep it
+ * non-quiet). The tile phase iterates only the worklist, dropping
+ * tiles that went quiet (deferred removal keeps membership O(1)), so
+ * barrier windows, convergence tails and sparse frontiers cost
+ * O(active) per cycle instead of O(tiles). EngineScan::full keeps
+ * the exhaustive scan as a reference oracle; both modes produce
+ * byte-identical RunStats.
+ *
  * The ablation ladder of Fig. 5 maps onto MachineConfig knobs:
  * distribution (Uniform-Distr), policy (Traffic-Aware), topology
  * (Torus-NoC), barrier + invokeOverhead (Data-Local vs Basic-TSU).
@@ -72,6 +84,16 @@ struct MachineConfig
      * tile count; 0 behaves like 1.
      */
     unsigned engineThreads = 1;
+    /**
+     * Cycle-stepping scan mode (simulator only; never changes
+     * results). `active` (default) iterates per-shard active-tile and
+     * active-router worklists maintained event-driven — O(active) per
+     * cycle; `full` keeps the exhaustive per-cycle scan as a
+     * reference oracle. RunStats and energy are byte-identical for
+     * both (asserted by determinism_test); only the scan-occupancy
+     * counters and the simulator's wall clock differ.
+     */
+    EngineScan engineScan = EngineScan::active;
     /** Abort if this many cycles pass without progress (deadlock). */
     Cycle watchdogCycles = 1'000'000;
     /** Hard cycle limit (0 = none); panic when exceeded. */
@@ -106,6 +128,30 @@ struct RunStats
     std::uint64_t edgesProcessed = 0;  //!< app-counted edge visits
 
     NocStats noc;
+
+    /**
+     * Simulator execution metrics (scan-occupancy instrumentation).
+     * These measure the engine's own work — cycle-loop iterations
+     * actually stepped (fast-forward skips the rest), tile/router
+     * visits performed, and the visits the active-set scan avoided
+     * relative to a full scan. They are *not* architectural: they
+     * differ between EngineScan modes by design and are normalized
+     * out of the determinism contract (see determinism_test), like
+     * engineThreads.
+     */
+    Cycle engineSteppedCycles = 0;   //!< cycle-loop iterations run
+    Cycle nocSteppedCycles = 0;      //!< iterations with NoC traffic
+    std::uint64_t tileScans = 0;     //!< tile visits, all tile phases
+    std::uint64_t routerScans = 0;   //!< router visits, all NoC phases
+    /** Tile visits a full scan would have done but the active-set
+     *  scan skipped (0 under EngineScan::full). */
+    std::uint64_t activeTileCyclesSaved = 0;
+    /** Same for router visits in the NoC compute phases. */
+    std::uint64_t activeRouterCyclesSaved = 0;
+    /** Fraction of the full tile scan actually performed in [0, 1]. */
+    double tileScanOccupancy() const;
+    /** Fraction of the full router scan actually performed. */
+    double routerScanOccupancy() const;
 
     std::uint64_t scratchpadBytesTotal = 0;
     std::uint64_t scratchpadBytesMax = 0; //!< largest tile footprint
@@ -153,6 +199,22 @@ struct alignas(64) ShardCtx
     // the earliest future event (exactness-preserving fast-forward).
     Cycle maxBusyUntil = 0;
     Cycle nextEvent = ~Cycle(0);
+
+    /**
+     * Active-tile worklist (EngineScan::active), kept as an intrusive
+     * bitmap over the shard's tile range (bit t - beginTile).
+     * Invariant between phases: every non-quiet tile of the shard —
+     * busy PU, pending IQ entries or pending CQ entries — has its
+     * bit set. Bits are set at the points where activity is created
+     * (deliveries, seeds, host charges; O(1), idempotent) and
+     * cleared by the removal sweep inside the tile phase once a tile
+     * is quiet. A bitmap instead of an index list keeps the
+     * iteration in ascending tile order — the same prefetch-friendly
+     * memory walk as the full scan, minus the quiet tiles.
+     */
+    std::vector<std::uint64_t> activeMask;
+    /** Tile visits this shard performed (whole-run accumulator). */
+    std::uint64_t tileScans = 0;
 
     // Whole-run stat accumulators (merged in shard order at the end).
     std::uint64_t tsuReads = 0;
@@ -328,8 +390,19 @@ class Machine
     void finalizeQueues();
     /** Partition tiles into `shards` contiguous ranges. */
     void buildShards(unsigned shards);
+    /**
+     * Queue a tile on its shard's active worklist (no-op when already
+     * a member). Called wherever activity is created: deliveries,
+     * host seeds/charges and the initial post-start sweep. Only the
+     * owning shard's worker (or a serial section) may call this.
+     */
+    void activateTile(TileId t);
+    /** Step one tile (inject + PU) and fold its idle/fast-forward
+     *  contribution into the shard aggregates. */
+    void stepTile(Tile& tile, Cycle now, ShardCtx& shard);
     /** Advance one shard's tiles one cycle (inject + PU step) and
-     *  refresh its idle/fast-forward aggregates. */
+     *  refresh its idle/fast-forward aggregates. Walks the full tile
+     *  range or the active worklist per MachineConfig::engineScan. */
     void tilePhase(unsigned shard_index, Cycle now);
     /** Global idle check (exact outstanding-work counters). */
     bool

@@ -172,6 +172,7 @@ expand(const Plan& plan)
                       o.machine.distribution = distribution;
                       o.machine.barrier = barrier;
                       o.machine.engineThreads = threads;
+                      o.machine.engineScan = plan.engineScan;
                       o.machine.invokeOverhead = plan.invokeOverhead;
                       o.machine.scratchpadProvisionBytes =
                           plan.scratchpadProvisionBytes;

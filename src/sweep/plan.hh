@@ -87,6 +87,10 @@ struct Plan
      */
     std::vector<unsigned> engineThreads{1};
 
+    /** Cycle-stepping scan mode applied to every point (simulator
+     *  only; results are byte-identical for both — the `full` oracle
+     *  exists for determinism checks and scan-cost benchmarks). */
+    EngineScan engineScan = EngineScan::active;
     /** Ruche hop distance applied to torus-ruche points. */
     std::uint32_t rucheFactor = 2;
     /** Extra cycles per task invocation (ablation knob). */

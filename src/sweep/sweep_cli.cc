@@ -75,7 +75,7 @@ parseSweepArgs(int argc, const char* const* argv)
             "--distribution", "--barrier",  "--baseline",
             "--ruche-factor", "--invoke-overhead", "--seed",
             "--pagerank-iters", "--param",  "--engine-threads",
-            "--threads", "--csv", "--jsonl",
+            "--engine-scan", "--threads", "--csv", "--jsonl",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -228,6 +228,10 @@ parseSweepArgs(int argc, const char* const* argv)
                                 "[1, 256], got " + item);
                 o.plan.engineThreads.push_back(threads);
             }
+        } else if (flag == "--engine-scan") {
+            if (!cli::parseEngineScan(value, o.plan.engineScan))
+                return fail("--engine-scan must be full|active, got " +
+                            value);
         } else if (flag == "--threads") {
             std::uint32_t threads = 0;
             if (!cli::parseU32(value, 1, 256, threads))
@@ -311,6 +315,9 @@ sweepUsageText()
         " [1, 256]\n"
         "                        (default 1; stats are byte-identical"
         " for every N)\n"
+        "  --engine-scan M       full|active scan mode for every"
+        " point (default\n"
+        "                        active; results identical for both)\n"
         "\n"
         "scenario knobs:\n"
         "  --baseline WxH        speedup baseline shape"
@@ -320,7 +327,7 @@ sweepUsageText()
         "  --invoke-overhead N   extra cycles per task invocation\n"
         "  --seed N              dataset/weight seed (default 1)\n"
         "  --param K=V,...       kernel parameter overrides"
-        " (damping|iterations);\n"
+        " (damping|iterations|epsilon);\n"
         "                        keys a kernel does not use are"
         " skipped\n"
         "  --pagerank-iters N    deprecated alias for"

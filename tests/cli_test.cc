@@ -150,6 +150,21 @@ TEST(CliParse, EngineThreadsFlag)
     EXPECT_FALSE(parse({"--engine-threads", "many"}).ok);
 }
 
+TEST(CliParse, EngineScanFlag)
+{
+    EXPECT_EQ(parse({}).options.machine.engineScan,
+              EngineScan::active); // event-driven is the default
+    const ParseResult full = parse({"--engine-scan", "full"});
+    ASSERT_TRUE(full.ok) << full.error;
+    EXPECT_EQ(full.options.machine.engineScan, EngineScan::full);
+    const ParseResult active = parse({"--engine-scan", "ACTIVE"});
+    ASSERT_TRUE(active.ok) << active.error;
+    EXPECT_EQ(active.options.machine.engineScan, EngineScan::active);
+
+    EXPECT_FALSE(parse({"--engine-scan"}).ok);
+    EXPECT_FALSE(parse({"--engine-scan", "lazy"}).ok);
+}
+
 TEST(CliParse, ParamOverridesAndDeprecatedAlias)
 {
     const ParseResult r =
@@ -168,11 +183,18 @@ TEST(CliParse, ParamOverridesAndDeprecatedAlias)
     EXPECT_EQ(alias.options.params[0].name, "iterations");
     EXPECT_DOUBLE_EQ(alias.options.params[0].value, 7.0);
 
+    const ParseResult eps = parse({"--param", "epsilon=1e-5"});
+    ASSERT_TRUE(eps.ok) << eps.error;
+    ASSERT_EQ(eps.options.params.size(), 1u);
+    EXPECT_EQ(eps.options.params[0].name, "epsilon");
+    EXPECT_DOUBLE_EQ(eps.options.params[0].value, 1e-5);
+
     EXPECT_FALSE(parse({"--param", "frobnicate=3"}).ok);
     EXPECT_FALSE(parse({"--param", "damping"}).ok);
     EXPECT_FALSE(parse({"--param", "damping=2.0"}).ok);
     EXPECT_FALSE(parse({"--param", "iterations=0"}).ok);
     EXPECT_FALSE(parse({"--param", "iterations=1.5"}).ok);
+    EXPECT_FALSE(parse({"--param", "epsilon=1"}).ok);
     EXPECT_FALSE(parse({"--pagerank-iters", "0"}).ok);
 }
 

@@ -275,6 +275,89 @@ TEST(Machine, EngineThreadsClampToTileCount)
     EXPECT_EQ(app->gatherValues(machine), setup.referenceWords());
 }
 
+TEST(Machine, EngineScanFullVsActiveIdenticalOnUnevenShards)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup("sssp", graph);
+
+    auto run_with = [&](EngineScan scan) {
+        auto app = setup.makeApp();
+        MachineConfig config = config4x4();
+        // 5 does not divide 16 tiles: shards are uneven, so active
+        // worklist maintenance crosses ragged shard borders.
+        config.engineThreads = 5;
+        config.engineScan = scan;
+        Machine machine(config, graph.numVertices, graph.numEdges);
+        const RunStats stats = machine.run(*app);
+        EXPECT_EQ(app->gatherValues(machine), setup.referenceWords());
+        return stats;
+    };
+    const RunStats full = run_with(EngineScan::full);
+    const RunStats active = run_with(EngineScan::active);
+    EXPECT_EQ(full.cycles, active.cycles);
+    EXPECT_EQ(full.epochs, active.epochs);
+    EXPECT_EQ(full.invocations, active.invocations);
+    EXPECT_EQ(full.invocationsPerTask, active.invocationsPerTask);
+    EXPECT_EQ(full.puOps, active.puOps);
+    EXPECT_EQ(full.sramReads, active.sramReads);
+    EXPECT_EQ(full.sramWrites, active.sramWrites);
+    EXPECT_EQ(full.tsuReads, active.tsuReads);
+    EXPECT_EQ(full.tsuWrites, active.tsuWrites);
+    EXPECT_EQ(full.edgesProcessed, active.edgesProcessed);
+    EXPECT_EQ(full.noc.messagesInjected, active.noc.messagesInjected);
+    EXPECT_EQ(full.noc.flitHops, active.noc.flitHops);
+    EXPECT_EQ(full.noc.deliveryStalls, active.noc.deliveryStalls);
+    EXPECT_EQ(full.puBusyPerTile, active.puBusyPerTile);
+    EXPECT_EQ(full.routerActivePerTile, active.routerActivePerTile);
+    // Both engines stepped the same cycles; the active scan did it
+    // with strictly fewer tile visits, and the oracle saved nothing.
+    EXPECT_EQ(full.engineSteppedCycles, active.engineSteppedCycles);
+    EXPECT_EQ(full.activeTileCyclesSaved, 0u);
+    EXPECT_LT(active.tileScans, full.tileScans);
+    EXPECT_GT(active.activeTileCyclesSaved, 0u);
+}
+
+TEST(Machine, ActiveScanFastForwardsIdleWindows)
+{
+    // A path graph explores one vertex per BFS level: almost every
+    // tile is idle at any time, and in barrier mode each epoch ends
+    // in a fully-idle drain window before the host reseeds.
+    std::vector<std::pair<VertexId, VertexId>> chain;
+    for (VertexId v = 0; v + 1 < 48; ++v)
+        chain.push_back({v, v + 1});
+    const Csr graph = buildCsr(48, chain);
+
+    auto run_with = [&](EngineScan scan) {
+        BfsApp app(graph, 0);
+        MachineConfig config = config4x4();
+        config.barrier = true;
+        config.engineScan = scan;
+        Machine machine(config, graph.numVertices, graph.numEdges);
+        const RunStats stats = machine.run(app);
+        EXPECT_EQ(app.gatherValues(machine), referenceBfs(graph, 0));
+        return stats;
+    };
+    const RunStats full = run_with(EngineScan::full);
+    const RunStats active = run_with(EngineScan::active);
+
+    // The idle windows are crossed by fast-forward in one step, not
+    // rediscovered cycle by cycle: far fewer loop iterations than
+    // simulated cycles, identically in both modes (the fast-forward
+    // decision is part of the timing contract).
+    EXPECT_EQ(full.cycles, active.cycles);
+    EXPECT_EQ(full.engineSteppedCycles, active.engineSteppedCycles);
+    EXPECT_LT(active.engineSteppedCycles, active.cycles / 2);
+    // The wall work of the stepped cycles shrinks with the active
+    // set: a 16-tile grid with a 1-vertex frontier should run far
+    // below half occupancy, while the full scan pays every tile.
+    EXPECT_EQ(full.tileScans,
+              full.engineSteppedCycles * 16);
+    EXPECT_LT(active.tileScans, full.tileScans / 2);
+    EXPECT_GT(active.activeTileCyclesSaved, 0u);
+    EXPECT_GT(active.activeRouterCyclesSaved, 0u);
+    EXPECT_LT(active.tileScanOccupancy(), 0.5);
+}
+
 TEST(Machine, CyclesIncludeIdleDetection)
 {
     // An immediately-finished app still pays the idle-tree latency.

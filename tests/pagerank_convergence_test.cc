@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/graph_app.hh"
+#include "apps/kernels.hh"
 #include "apps/pagerank.hh"
 #include "graph/reference.hh"
 #include "graph/rmat.hh"
@@ -92,6 +94,38 @@ TEST(PageRankConvergence, IterationCapStillBinds)
     Machine machine(config4x4(), graph.numVertices, graph.numEdges);
     const RunStats stats = machine.run(app);
     EXPECT_EQ(stats.epochs, 3u);
+}
+
+TEST(PageRankConvergence, EpsilonParamFlowsThroughKernelDefaults)
+{
+    // The ROADMAP item: epsilon reaches PageRankApp::setConvergence
+    // through --param / KernelDefaults, and the converged run still
+    // validates (against the convergence-aware reference).
+    const Csr graph = prGraph();
+    KernelSetup setup = makeKernelSetup("pagerank", graph);
+    EXPECT_TRUE(setup.kernel->defaults.usesEpsilon);
+    EXPECT_DOUBLE_EQ(setup.epsilon, 0.0);
+
+    std::vector<ParamOverride> params;
+    std::string err;
+    ASSERT_TRUE(parseParamOverrides("iterations=50,epsilon=1e-5",
+                                    params, err))
+        << err;
+    applyParamOverrides(setup, params);
+    EXPECT_EQ(setup.iterations, 50u);
+    EXPECT_DOUBLE_EQ(setup.epsilon, 1e-5);
+
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app);
+    EXPECT_LT(stats.epochs, 50u); // the threshold stopped the run
+    EXPECT_GT(stats.epochs, 3u);
+    EXPECT_TRUE(validateRun(setup, *app, machine));
+
+    // Unknown/out-of-range epsilon values are rejected at parse time.
+    std::vector<ParamOverride> bad;
+    EXPECT_FALSE(parseParamOverrides("epsilon=1.5", bad, err));
+    EXPECT_FALSE(parseParamOverrides("epsilon=-0.1", bad, err));
 }
 
 TEST(PageRankConvergence, DeltaShrinksMonotonically)

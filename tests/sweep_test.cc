@@ -445,6 +445,7 @@ TEST(SweepParse, EngineThreadsAndParamFlags)
 {
     const std::vector<const char*> args = {
         "sweep",         "--engine-threads", "1,4",
+        "--engine-scan", "full",
         "--param",       "damping=0.9,iterations=20",
         "--pagerank-iters", "7"};
     const SweepParseResult parsed =
@@ -452,6 +453,7 @@ TEST(SweepParse, EngineThreadsAndParamFlags)
     ASSERT_TRUE(parsed.ok) << parsed.error;
     const Plan& plan = parsed.options.plan;
     EXPECT_EQ(plan.engineThreads, (std::vector<unsigned>{1, 4}));
+    EXPECT_EQ(plan.engineScan, EngineScan::full);
     ASSERT_EQ(plan.params.size(), 3u);
     EXPECT_EQ(plan.params[0].name, "damping");
     EXPECT_DOUBLE_EQ(plan.params[0].value, 0.9);
@@ -474,6 +476,7 @@ TEST(SweepParse, EngineThreadsAndParamFlags)
                        out, err),
               2);
     EXPECT_NE(err.find("below the largest"), std::string::npos);
+    EXPECT_EQ(runSweep({"--engine-scan", "lazy"}, out, err), 2);
 }
 
 TEST(SweepParse, RepeatedAxisFlagsAppendConsistently)

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Benchmark the active-set engine against the full-scan oracle.
+
+Runs the 64x64 scaling-smoke workloads serially (engine-threads 1)
+under both --engine-scan modes, records wall clock plus the engine's
+scan-occupancy counters, and writes one JSON artifact (BENCH_pr5.json)
+so CI tracks the perf trajectory with data instead of anecdotes.
+
+The architectural stats (cycles, every counter the energy model
+reads) are byte-identical between the modes — asserted here as well
+as in determinism_test — so any wall-clock delta is pure simulator
+speed.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+# The 64x64 workload set: the dense scaling-smoke pair (bfs,
+# pagerank) plus the sparse-frontier/tail regimes active-set stepping
+# targets (barrier bfs, label-correcting sssp tail, k-core peeling).
+WORKLOADS = [
+    ("bfs", ["--scale", "14"]),
+    ("pagerank", ["--scale", "13", "--param", "iterations=5"]),
+    ("bfs-barrier", ["--scale", "13", "--barrier"]),
+    ("sssp", ["--scale", "13"]),
+    ("kcore", ["--scale", "13"]),
+]
+
+
+def run_point(dalorex, kernel, extra, scan):
+    args = [
+        dalorex,
+        "--kernel", kernel,
+        "--width", "64",
+        "--height", "64",
+        "--engine-threads", "1",
+        "--engine-scan", scan,
+        "--time-engine",
+        "--json",
+    ] + extra
+    start = time.monotonic()
+    proc = subprocess.run(args, capture_output=True, text=True)
+    wall = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.exit(f"bench_pr5: {' '.join(args)} failed: {proc.stderr}")
+    report = json.loads(proc.stdout)
+    # The engine's own wall time (stderr, --time-engine) is the
+    # speedup numerator: process wall time includes scan-mode-
+    # independent setup (RMAT generation, CSR build, rendering) that
+    # would dilute the measurement.
+    engine_wall = None
+    for line in proc.stderr.splitlines():
+        if line.startswith("engine_wall_seconds "):
+            engine_wall = float(line.split()[1])
+    if engine_wall is None:
+        sys.exit(f"bench_pr5: {kernel}/{scan}: no engine_wall_seconds "
+                 "line on stderr")
+    return wall, engine_wall, report
+
+
+def normalized(report):
+    """The byte-identity contract, minus the execution facets."""
+    clone = json.loads(json.dumps(report))
+    clone["machine"]["engine_scan"] = None
+    clone["stats"]["engine"] = None
+    return clone
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dalorex", required=True,
+                        help="path to the dalorex binary")
+    parser.add_argument("--out", required=True,
+                        help="output JSON path (BENCH_pr5.json)")
+    opts = parser.parse_args()
+
+    rows = []
+    for name, extra in WORKLOADS:
+        kernel = name.split("-barrier")[0]
+        point = {"workload": name, "grid": "64x64"}
+        reports = {}
+        engine_walls = {}
+        for scan in ("full", "active"):
+            wall, engine_wall, report = run_point(
+                opts.dalorex, kernel, extra, scan)
+            reports[scan] = report
+            engine_walls[scan] = engine_wall
+            engine = report["stats"]["engine"]
+            point[scan] = {
+                "wall_seconds": round(wall, 3),
+                "engine_wall_seconds": round(engine_wall, 3),
+                "cycles": report["stats"]["cycles"],
+                "stepped_cycles": engine["stepped_cycles"],
+                "tile_scans": engine["tile_scans"],
+                "router_scans": engine["router_scans"],
+                "tile_scan_occupancy":
+                    engine["tile_scan_occupancy"],
+                "router_scan_occupancy":
+                    engine["router_scan_occupancy"],
+                "active_tile_cycles_saved":
+                    engine["active_tile_cycles_saved"],
+            }
+        if normalized(reports["full"]) != normalized(reports["active"]):
+            sys.exit(f"bench_pr5: {name}: full and active scans "
+                     "disagree on architectural stats")
+        point["stats_identical"] = True
+        # Ratio of the *unrounded* engine times: the stored 3-decimal
+        # values can collapse sub-millisecond runs to 0.
+        point["speedup_active_vs_full"] = round(
+            engine_walls["full"] /
+            max(engine_walls["active"], 1e-9), 3)
+        rows.append(point)
+        print(f"{name}: engine full "
+              f"{point['full']['engine_wall_seconds']}s, "
+              f"active {point['active']['engine_wall_seconds']}s "
+              f"({point['speedup_active_vs_full']}x), "
+              f"tile occupancy "
+              f"{point['active']['tile_scan_occupancy']:.3f}")
+
+    geo = 1.0
+    for row in rows:
+        geo *= row["speedup_active_vs_full"]
+    geo **= 1.0 / len(rows)
+
+    out = {
+        "bench": "pr5_active_set_scheduling",
+        "engine_threads": 1,
+        "workloads": rows,
+        "geomean_speedup_active_vs_full": round(geo, 3),
+    }
+    with open(opts.out, "w") as handle:
+        json.dump(out, handle, indent=2)
+        handle.write("\n")
+    print(f"geomean speedup {out['geomean_speedup_active_vs_full']}x "
+          f"-> {opts.out}")
+
+
+if __name__ == "__main__":
+    main()
