@@ -36,8 +36,12 @@ makeKernelSetup(const KernelInfo& kernel, const Csr& base,
 
     // One RNG stream in a fixed trait order (weights, then x) keeps
     // adapted datasets bit-identical to the pre-registry factory.
+    // Graphs loaded from converted files may carry real edge weights;
+    // those are kept, and synthetic weights are drawn only for
+    // unweighted inputs (every generated dataset is unweighted, so
+    // the established stream is unchanged).
     Rng rng(seed);
-    if (traits.needsWeights)
+    if (traits.needsWeights && !setup.graph.weighted())
         addRandomWeights(setup.graph, rng, traits.weightMin,
                          traits.weightMax);
     if (traits.needsInputVector) {

@@ -14,8 +14,8 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/text.hh"
+#include "graph/dataset_cache.hh"
 #include "graph/datasets.hh"
-#include "graph/rmat.hh"
 
 namespace dalorex
 {
@@ -267,11 +267,15 @@ usageText()
     return
         "usage: dalorex [options]\n"
         "       dalorex sweep [options]\n"
+        "       dalorex convert [options] [INPUT]\n"
         "\n"
         "Runs one kernel scenario on the cycle-level Dalorex engine\n"
         "and reports runtime statistics plus the energy model. The\n"
         "`sweep` subcommand expands a scenario grid and runs every\n"
-        "point on a worker pool (see `dalorex sweep --help`).\n"
+        "point on a worker pool (see `dalorex sweep --help`); the\n"
+        "`convert` subcommand turns edge-list/MatrixMarket/DIMACS\n"
+        "inputs into mmap-loadable binary CSR graph files (see\n"
+        "`dalorex convert --help`).\n"
         "\n"
         "scenario:\n"
         "  --kernel K           " +
@@ -280,7 +284,9 @@ usageText()
         "  --scale N            RMAT dataset scale, V = 2^N"
         " (default 12)\n"
         "  --dataset NAME       named dataset instead of --scale:\n"
-        "                       amazon|wiki|livejournal|rmatN\n"
+        "                       amazon|wiki|livejournal|rmatN, or\n"
+        "                       file:PATH for a binary CSR graph\n"
+        "                       written by `dalorex convert`\n"
         "  --seed N             dataset/weight seed (default 1)\n"
         "\n"
         "machine:\n"
@@ -423,29 +429,29 @@ runScenario(const Options& options)
     if (options.kernel == nullptr)
         return failRun(std::move(outcome), "scenario has no kernel");
 
-    Csr base;
-    if (!options.dataset.empty()) {
-        if (!knownDataset(options.dataset))
-            return failRun(std::move(outcome),
-                           "unknown dataset: " + options.dataset +
-                               " (try --list-datasets)");
-        Dataset ds = options.datasetScale > 0
-                         ? makeDatasetAt(options.dataset,
-                                         options.datasetScale,
-                                         options.seed)
-                         : makeDataset(options.dataset, options.seed);
-        report.datasetName = ds.name;
-        base = std::move(ds.graph);
-    } else {
-        RmatParams params;
-        params.scale = options.scale;
-        params.seed = options.seed;
-        base = rmatGraph(params);
-        report.datasetName = "rmat" + std::to_string(options.scale);
-    }
+    // All dataset construction flows through the process-wide
+    // immutable cache: N sweep workers hitting the same (name, scale,
+    // seed) share one generated or mmap-loaded graph, and any build
+    // failure (unknown name, missing/corrupt graph file) fails this
+    // row recoverably instead of killing the process.
+    const std::string dataset_name =
+        !options.dataset.empty()
+            ? options.dataset
+            : "rmat" + std::to_string(options.scale);
+    if (!knownDataset(dataset_name))
+        return failRun(std::move(outcome),
+                       "unknown dataset: " + dataset_name +
+                           " (try --list-datasets)");
+    const CachedDataset cached = datasetCacheGet(
+        dataset_name, options.datasetScale, options.seed);
+    if (!cached.ok)
+        return failRun(std::move(outcome), cached.error);
+    report.datasetName = !options.dataset.empty()
+                             ? cached.dataset->name
+                             : dataset_name;
 
-    KernelSetup setup =
-        makeKernelSetup(*options.kernel, base, options.seed);
+    KernelSetup setup = makeKernelSetup(
+        *options.kernel, cached.dataset->graph, options.seed);
     applyParamOverrides(setup, options.params);
     report.numVertices = setup.graph.numVertices;
     report.numEdges = setup.graph.numEdges;

@@ -1,14 +1,16 @@
 /**
  * @file
- * Entry point of the `dalorex` binary: dispatches the `sweep`
- * subcommand, otherwise runs one scenario. All behavior lives in
- * cli::cliMain / sweep::sweepMain so tests can drive them in-process.
+ * Entry point of the `dalorex` binary: dispatches the `sweep` and
+ * `convert` subcommands, otherwise runs one scenario. All behavior
+ * lives in cli::cliMain / sweep::sweepMain / convert::convertMain so
+ * tests can drive them in-process.
  */
 
 #include <cstring>
 #include <iostream>
 
 #include "cli/cli.hh"
+#include "graph-convert/graph_convert.hh"
 #include "sweep/sweep_cli.hh"
 
 int
@@ -17,5 +19,8 @@ main(int argc, char** argv)
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
         return dalorex::sweep::sweepMain(argc - 1, argv + 1, std::cout,
                                          std::cerr);
+    if (argc > 1 && std::strcmp(argv[1], "convert") == 0)
+        return dalorex::convert::convertMain(argc - 1, argv + 1,
+                                             std::cout, std::cerr);
     return dalorex::cli::cliMain(argc, argv, std::cout, std::cerr);
 }

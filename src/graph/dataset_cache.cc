@@ -1,0 +1,104 @@
+#include "graph/dataset_cache.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/text.hh"
+
+namespace dalorex
+{
+namespace
+{
+
+/** One cache slot; `once` serializes the build across workers. */
+struct Entry
+{
+    std::once_flag once;
+    CachedDataset value;
+};
+
+struct Cache
+{
+    std::mutex mutex;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
+    DatasetCacheStats stats;
+};
+
+Cache&
+cache()
+{
+    static Cache instance;
+    return instance;
+}
+
+/**
+ * Canonical cache key. Catalog aliases are case-insensitive
+ * ("AZ" == "amazon" at build time), so lowercase them; file: paths
+ * stay case-sensitive.
+ */
+std::string
+cacheKey(const std::string& name, unsigned scale, std::uint64_t seed)
+{
+    const std::string id =
+        isFileDataset(name) ? name : toLower(name);
+    return id + "@" + std::to_string(scale) + "#" +
+           std::to_string(seed);
+}
+
+} // namespace
+
+CachedDataset
+datasetCacheGet(const std::string& name, unsigned scale,
+                std::uint64_t seed)
+{
+    Cache& c = cache();
+    std::shared_ptr<Entry> entry;
+    bool inserted = false;
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        auto& slot = c.entries[cacheKey(name, scale, seed)];
+        if (slot == nullptr) {
+            slot = std::make_shared<Entry>();
+            inserted = true;
+        }
+        entry = slot;
+        if (inserted)
+            ++c.stats.builds;
+        else
+            ++c.stats.hits;
+    }
+    // Build outside the map lock: a slow generation must not block
+    // lookups of other datasets, only requests for this key.
+    std::call_once(entry->once, [&] {
+        DatasetResult built = scale > 0
+                                  ? tryMakeDatasetAt(name, scale, seed)
+                                  : tryMakeDataset(name, seed);
+        if (!built.ok) {
+            entry->value.ok = false;
+            entry->value.error = built.error;
+            return;
+        }
+        entry->value.dataset = std::make_shared<const Dataset>(
+            std::move(built.dataset));
+    });
+    return entry->value;
+}
+
+DatasetCacheStats
+datasetCacheStats()
+{
+    Cache& c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    return c.stats;
+}
+
+void
+datasetCacheClear()
+{
+    Cache& c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.entries.clear();
+    c.stats = DatasetCacheStats{};
+}
+
+} // namespace dalorex

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/text.hh"
+#include "graph/graphfile.hh"
 #include "graph/rmat.hh"
 
 namespace dalorex
@@ -91,7 +92,12 @@ isLiveJournal(const std::string& id)
     return id == "livejournal" || id == "lj";
 }
 
-/** Scale encoded in an "rmatN" id; -1 when `id` is not rmat-shaped. */
+/**
+ * Scale encoded in an "rmatN" id; -1 when `id` is not rmat-shaped.
+ * Zero-padded ids ("rmat0016") are rejected: they would generate the
+ * same graph as "rmat16" under a display name ("R0016") that splits
+ * sweep baseline matching from the canonical "R16".
+ */
 int
 rmatScaleOf(const std::string& id)
 {
@@ -99,6 +105,8 @@ rmatScaleOf(const std::string& id)
         return -1;
     const std::string digits = id.substr(4);
     if (digits.empty() || digits.size() > 4)
+        return -1;
+    if (digits.size() > 1 && digits[0] == '0')
         return -1;
     int scale = 0;
     for (char ch : digits) {
@@ -109,7 +117,22 @@ rmatScaleOf(const std::string& id)
     return scale;
 }
 
+DatasetResult
+failBuild(const std::string& message)
+{
+    DatasetResult result;
+    result.ok = false;
+    result.error = message;
+    return result;
+}
+
 } // namespace
+
+bool
+isFileDataset(const std::string& name)
+{
+    return name.rfind("file:", 0) == 0;
+}
 
 std::vector<DatasetListing>
 datasetCatalog()
@@ -124,12 +147,18 @@ datasetCatalog()
         {"rmatN", "",
          "RMAT at scale N in [4,31] (Graph500 parameters, edge "
          "factor 10), e.g. rmat16"},
+        {"file:PATH", "",
+         "on-disk binary CSR written by `dalorex convert` "
+         "(mmap-loaded, checksum-validated)"},
     };
 }
 
 bool
 knownDataset(const std::string& name)
 {
+    // The path after "file:" is case-sensitive: check it unlowered.
+    if (isFileDataset(name))
+        return name.size() > 5;
     const std::string id = toLower(name);
     if (isAmazon(id) || isWiki(id) || isLiveJournal(id))
         return true;
@@ -140,6 +169,8 @@ knownDataset(const std::string& name)
 unsigned
 defaultQuickScale(const std::string& name)
 {
+    if (isFileDataset(name))
+        return 0; // files are fixed size
     const std::string id = toLower(name);
     if (isAmazon(id) || isLiveJournal(id))
         return 15;
@@ -148,52 +179,100 @@ defaultQuickScale(const std::string& name)
     return 0; // rmatN carries its scale in the name
 }
 
-Dataset
-makeDatasetAt(const std::string& name, unsigned scale,
-              std::uint64_t seed)
+DatasetResult
+tryMakeDatasetAt(const std::string& name, unsigned scale,
+                 std::uint64_t seed)
 {
+    // Names whose size is not scalable resolve before the range
+    // check, so the 0 defaultQuickScale() returns for them can never
+    // read as an out-of-range scale.
     const std::string id = toLower(name);
-    fatal_if(scale < 4 || scale > 31, "dataset scale out of [4,31]: ",
-             scale);
+    if (isFileDataset(name) || id.rfind("rmat", 0) == 0)
+        return tryMakeDataset(name, seed);
+    if (scale < 4 || scale > 31)
+        return failBuild("dataset scale out of [4,31]: " +
+                         std::to_string(scale));
+    DatasetResult result;
     if (isAmazon(id))
-        return makeAmazon(scale, seed);
-    if (isWiki(id))
-        return makeWiki(scale, seed);
-    if (isLiveJournal(id))
-        return makeLiveJournal(scale, seed);
-    return makeDataset(name, seed);
+        result.dataset = makeAmazon(scale, seed);
+    else if (isWiki(id))
+        result.dataset = makeWiki(scale, seed);
+    else if (isLiveJournal(id))
+        result.dataset = makeLiveJournal(scale, seed);
+    else
+        return tryMakeDataset(name, seed);
+    return result;
+}
+
+DatasetResult
+tryMakeDataset(const std::string& name, std::uint64_t seed)
+{
+    if (isFileDataset(name)) {
+        const std::string path = name.substr(5);
+        if (path.empty())
+            return failBuild("file: dataset needs a path");
+        GraphFileResult loaded = loadGraphFile(path);
+        if (!loaded.ok)
+            return failBuild(loaded.error);
+        DatasetResult result;
+        result.dataset = std::move(loaded.dataset);
+        return result;
+    }
+    const std::string id = toLower(name);
+    DatasetResult result;
+    if (isAmazon(id)) {
+        result.dataset = makeAmazon(18, seed);
+        return result;
+    }
+    if (isWiki(id)) {
+        result.dataset = makeWiki(18, seed);
+        return result;
+    }
+    if (isLiveJournal(id)) {
+        result.dataset = makeLiveJournal(18, seed);
+        return result;
+    }
+    if (id.rfind("rmat", 0) == 0) {
+        const int scale = rmatScaleOf(id);
+        if (scale < 0)
+            return failBuild(
+                "bad rmat scale in dataset name: " + name +
+                " (want rmatN, N in [4,31] without leading zeros)");
+        if (scale < 4 || scale > 31)
+            return failBuild("rmat scale out of [4,31]: " +
+                             std::to_string(scale));
+        RmatParams params;
+        params.scale = static_cast<unsigned>(scale);
+        params.edgeFactor = 10; // paper: "average ten edges per vertex"
+        params.seed = seed;
+        Dataset& ds = result.dataset;
+        ds.name = "R" + std::to_string(scale);
+        ds.provenance = "RMAT scale " + std::to_string(scale) +
+                        " per the paper (Graph500 parameters, "
+                        "edge factor 10)";
+        ds.graph = rmatGraph(params);
+        return result;
+    }
+    return failBuild(
+        "unknown dataset: " + name +
+        " (expected amazon|wiki|livejournal|rmatN|file:PATH)");
 }
 
 Dataset
 makeDataset(const std::string& name, std::uint64_t seed)
 {
-    const std::string id = toLower(name);
-    if (isAmazon(id))
-        return makeAmazon(18, seed);
-    if (isWiki(id))
-        return makeWiki(18, seed);
-    if (isLiveJournal(id))
-        return makeLiveJournal(18, seed);
-    if (id.rfind("rmat", 0) == 0) {
-        const std::string digits = id.substr(4);
-        const int scale = rmatScaleOf(id);
-        fatal_if(scale < 0, "bad rmat scale in dataset name: ", name);
-        fatal_if(scale < 4 || scale > 31,
-                 "rmat scale out of [4,31]: ", scale);
-        RmatParams params;
-        params.scale = static_cast<unsigned>(scale);
-        params.edgeFactor = 10; // paper: "average ten edges per vertex"
-        params.seed = seed;
-        Dataset ds;
-        ds.name = "R" + digits;
-        ds.provenance = "RMAT scale " + digits +
-                        " per the paper (Graph500 parameters, "
-                        "edge factor 10)";
-        ds.graph = rmatGraph(params);
-        return ds;
-    }
-    fatal("unknown dataset: ", name,
-          " (expected amazon|wiki|livejournal|rmatN)");
+    DatasetResult result = tryMakeDataset(name, seed);
+    fatal_if(!result.ok, result.error);
+    return std::move(result.dataset);
+}
+
+Dataset
+makeDatasetAt(const std::string& name, unsigned scale,
+              std::uint64_t seed)
+{
+    DatasetResult result = tryMakeDatasetAt(name, scale, seed);
+    fatal_if(!result.ok, result.error);
+    return std::move(result.dataset);
 }
 
 } // namespace dalorex

@@ -39,24 +39,47 @@ struct Dataset
     Csr graph;
 };
 
+/** Outcome of building a dataset: the dataset, or a diagnostic. */
+struct DatasetResult
+{
+    Dataset dataset;
+    bool ok = true;
+    std::string error; //!< one line, set when !ok
+};
+
 /**
- * Build a dataset by name.
+ * Build a dataset by name, recoverably.
  *
- * Names: "amazon"/"AZ", "wiki"/"WK", "livejournal"/"LJ", or "rmatN" for
- * N in [4, 31] (e.g. "rmat16"). fatal() on unknown names.
- *
- * @param name  Dataset identifier (case-insensitive for the aliases).
- * @param seed  Generator seed (defaults match the benches).
+ * Names: "amazon"/"AZ", "wiki"/"WK", "livejournal"/"LJ", "rmatN" for
+ * N in [4, 31] without leading zeros (e.g. "rmat16"), or
+ * "file:PATH" for a binary CSR file written by `dalorex convert`.
+ * Unknown names, malformed rmat ids and unreadable/corrupt graph
+ * files come back as ok == false with a one-line error — a bad
+ * dataset must fail one sweep row, never the process.
  */
-Dataset makeDataset(const std::string& name, std::uint64_t seed = 1);
+DatasetResult tryMakeDataset(const std::string& name,
+                             std::uint64_t seed = 1);
 
 /**
  * Same, but at an explicit vertex scale (V = 2^scale): benches shrink
  * the stand-ins under --quick while preserving average degree and
- * skew. rmatN names ignore the override (their scale is in the name).
+ * skew. rmatN and file: names ignore the override (an rmat scale
+ * lives in the name; files are fixed size), so defaultQuickScale()'s
+ * 0 return for them can never trip the [4, 31] range check.
  */
+DatasetResult tryMakeDatasetAt(const std::string& name, unsigned scale,
+                               std::uint64_t seed = 1);
+
+/** tryMakeDataset() for contexts that own the process (benches,
+ *  examples): fatal() on any error. */
+Dataset makeDataset(const std::string& name, std::uint64_t seed = 1);
+
+/** tryMakeDatasetAt() with the same fatal() contract. */
 Dataset makeDatasetAt(const std::string& name, unsigned scale,
                       std::uint64_t seed = 1);
+
+/** True for "file:PATH" dataset names (on-disk binary CSR graphs). */
+bool isFileDataset(const std::string& name);
 
 /** One --list-datasets catalog entry. */
 struct DatasetListing
@@ -70,16 +93,19 @@ struct DatasetListing
 std::vector<DatasetListing> datasetCatalog();
 
 /**
- * True when makeDataset(name) would succeed: a catalog alias or
- * "rmatN" with N in [4, 31]. Lets batch layers reject bad names up
- * front instead of fatal()ing mid-run on a worker thread.
+ * True when the name is well-formed: a catalog alias, "rmatN" with N
+ * in [4, 31] (no leading zeros), or "file:" with a non-empty path.
+ * Lets batch layers reject bad names up front; whether a file:
+ * dataset actually loads is only known at build time, where failures
+ * surface through DatasetResult.
  */
 bool knownDataset(const std::string& name);
 
 /**
  * The named stand-ins' quick-mode vertex scale (amazon/livejournal
- * 15, wiki 14); 0 for rmatN. Single source for the benches' --quick
- * shrink and `dalorex sweep --quick`.
+ * 15, wiki 14); 0 for rmatN and file: names, whose size is fixed.
+ * Single source for the benches' --quick shrink and `dalorex sweep
+ * --quick`.
  */
 unsigned defaultQuickScale(const std::string& name);
 

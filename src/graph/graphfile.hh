@@ -1,0 +1,110 @@
+/**
+ * @file
+ * On-disk binary CSR graph storage ("dlx" files).
+ *
+ * `dalorex convert` ingests text graph formats once and writes this
+ * versioned, checksummed binary layout; the loader memory-maps it,
+ * validates every section and materializes a Dataset in milliseconds,
+ * so sweeps over multi-million-edge graphs load instead of
+ * regenerating (the `tools/graph-convert` + on-disk property-graph
+ * idiom of the Katana engine).
+ *
+ * Layout (little-endian, fixed-width fields):
+ *
+ *   [0,  8)  magic "DLRXCSR\0"
+ *   [8, 12)  u32 format version (currently 1)
+ *   [12,16)  u32 flags (bit 0: per-edge weights present)
+ *   [16,24)  u64 numVertices
+ *   [24,32)  u64 numEdges
+ *   [32,40)  u64 name length in bytes
+ *   [40,48)  u64 provenance length in bytes
+ *   [48,56)  u64 meta hash (name + provenance bytes)
+ *   [56,64)  u64 rowPtr section hash
+ *   [64,72)  u64 colIdx section hash
+ *   [72,80)  u64 weights section hash (0 when unweighted)
+ *   [80,88)  u64 header hash (bytes [0, 80))
+ *   [88,..)  name bytes, provenance bytes, pad to 8;
+ *            rowPtr (V+1 x u32), colIdx (E x u32),
+ *            weights (E x u32, only when flagged)
+ *
+ * All load/inspect failures — unreadable path, truncation, foreign
+ * magic, version skew, any flipped byte — come back as `ok == false`
+ * with a one-line diagnostic, never a crash: a corrupt file must fail
+ * one sweep row, not the process.
+ */
+
+#ifndef DALOREX_GRAPH_GRAPHFILE_HH
+#define DALOREX_GRAPH_GRAPHFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/datasets.hh"
+
+namespace dalorex
+{
+
+/** Format version written by saveGraphFile(). */
+constexpr std::uint32_t graphFileVersion = 1;
+
+/** Everything in a graph file's header (for `convert --verify`). */
+struct GraphFileHeader
+{
+    std::uint32_t version = 0;
+    bool weighted = false;
+    std::uint64_t numVertices = 0;
+    std::uint64_t numEdges = 0;
+    std::string name;
+    std::string provenance;
+    std::uint64_t metaHash = 0;
+    std::uint64_t rowPtrHash = 0;
+    std::uint64_t colIdxHash = 0;
+    std::uint64_t weightsHash = 0;
+    std::uint64_t fileBytes = 0; //!< total size on disk
+};
+
+/** Outcome of loading a graph file: a Dataset, or a diagnostic. */
+struct GraphFileResult
+{
+    Dataset dataset;
+    bool ok = true;
+    std::string error; //!< one line, set when !ok
+};
+
+/** Outcome of inspecting a graph file without materializing it. */
+struct GraphFileInfoResult
+{
+    GraphFileHeader header;
+    bool ok = true;
+    std::string error; //!< one line, set when !ok
+};
+
+/**
+ * Write `ds` (graph + name + provenance) to `path`. Returns false
+ * with a one-line `error` on I/O failure. The written file round
+ * trips bit-exactly: loadGraphFile() rebuilds the identical Dataset.
+ */
+bool saveGraphFile(const std::string& path, const Dataset& ds,
+                   std::string& error);
+
+/**
+ * Memory-map `path`, validate magic/version/checksums/structure and
+ * materialize the Dataset. Never crashes on bad input.
+ */
+GraphFileResult loadGraphFile(const std::string& path);
+
+/**
+ * Validate `path` exactly like loadGraphFile() — including full
+ * section checksums — but only return the header.
+ */
+GraphFileInfoResult inspectGraphFile(const std::string& path);
+
+/**
+ * The 64-bit section hash (xxhash-style multiply-rotate mix over
+ * 8-byte lanes). Exposed so tests can forge/verify sections.
+ */
+std::uint64_t hashBytes(const void* data, std::size_t size);
+
+} // namespace dalorex
+
+#endif // DALOREX_GRAPH_GRAPHFILE_HH

@@ -127,6 +127,11 @@ expand(const Plan& plan)
                         "rmatN datasets carry their scale in the "
                         "name; drop @" + std::to_string(ds.scale) +
                         " from " + ds.name);
+                if (isFileDataset(ds.name))
+                    return fail(
+                        "file: datasets are fixed size; drop @" +
+                        std::to_string(ds.scale) + " from " +
+                        ds.name);
                 if (ds.scale < 4 || ds.scale > 31)
                     return fail("dataset scale out of [4,31]: " +
                                 std::to_string(ds.scale));

@@ -114,7 +114,11 @@ parseSweepArgs(int argc, const char* const* argv)
         } else if (flag == "--dataset") {
             for (const std::string& item : splitCommas(value)) {
                 RawDataset raw;
-                const std::size_t at = item.find('@');
+                // file: names are paths, which may contain '@';
+                // their size is fixed anyway, so no @SCALE suffix.
+                const std::size_t at = isFileDataset(item)
+                                           ? std::string::npos
+                                           : item.find('@');
                 raw.name = item.substr(0, at);
                 if (raw.name.empty())
                     return fail("--dataset needs a name, got: " +
@@ -295,10 +299,12 @@ sweepUsageText()
         "  --kernel K,...        " +
         KernelRegistry::instance().namesText() +
         "|all (default all)\n"
-        "  --dataset NAME,...    amazon|wiki|livejournal|rmatN;"
-        " NAME@SCALE pins\n"
-        "                        a stand-in scale"
-        " (default: RMAT at --scale)\n"
+        "  --dataset NAME,...    amazon|wiki|livejournal|rmatN, or\n"
+        "                        file:PATH for a binary CSR graph"
+        " written by\n"
+        "                        `dalorex convert`; NAME@SCALE pins a"
+        " stand-in\n"
+        "                        scale (default: RMAT at --scale)\n"
         "  --scale N,...         RMAT scales [4,26] when --dataset is"
         " absent\n"
         "                        (default: 10 quick, 14 full)\n"

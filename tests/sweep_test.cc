@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/dataset_cache.hh"
+#include "graph/graphfile.hh"
 #include "sweep/aggregate.hh"
 #include "sweep/pool.hh"
 #include "sweep/sweep.hh"
@@ -499,6 +501,105 @@ TEST(SweepParse, RepeatedAxisFlagsAppendConsistently)
     EXPECT_EQ(plan.policies,
               (std::vector<SchedPolicy>{SchedPolicy::roundRobin,
                                         SchedPolicy::trafficAware}));
+}
+
+TEST(RunAggregate, WorkersShareOneDatasetBuild)
+{
+    // The process-wide cache contract: a parallel sweep over one
+    // dataset generates it exactly once, no matter how many workers
+    // and points touch it.
+    datasetCacheClear();
+    Plan plan;
+    plan.kernels = {kernelOrDie("bfs"), kernelOrDie("wcc")};
+    plan.datasets = {{"", 8}};
+    plan.grids = {{2, 2}, {4, 4}};
+    plan.seed = 3;
+    const RunResult result = run(expand(plan), 4);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_TRUE(result.allRowsOk());
+    const DatasetCacheStats stats = datasetCacheStats();
+    EXPECT_EQ(stats.builds, 1u);
+    EXPECT_EQ(stats.hits, 3u); // 4 points, one build
+    datasetCacheClear();
+}
+
+TEST(Expand, RejectsScaleOverrideOnFileNames)
+{
+    Plan plan = miniPlan();
+    plan.datasets = {{"file:some/graph.dlx", 8}};
+    const ExpandResult result = expand(plan);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("fixed size"), std::string::npos)
+        << result.error;
+    EXPECT_EQ(result.error.find('\n'), std::string::npos);
+}
+
+TEST(SweepParse, FileDatasetPathsKeepTheirAtSigns)
+{
+    // file: names are paths; an '@' inside one is not a scale pin.
+    const std::vector<const char*> args = {
+        "sweep", "--dataset", "file:/tmp/snap@2026/graph.dlx"};
+    const SweepParseResult parsed =
+        parseSweepArgs(static_cast<int>(args.size()), args.data());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_EQ(parsed.options.plan.datasets.size(), 1u);
+    EXPECT_EQ(parsed.options.plan.datasets[0].name,
+              "file:/tmp/snap@2026/graph.dlx");
+    EXPECT_EQ(parsed.options.plan.datasets[0].scale, 0u);
+}
+
+TEST(SweepMain, BadFileDatasetFailsItsRowsNotTheSweep)
+{
+    // One unreadable file: dataset on the axis fails as data (exit 1,
+    // one diagnostic per row) while the healthy dataset's rows render.
+    datasetCacheClear();
+    std::string out;
+    std::string err;
+    const int code = runSweep(
+        {"--kernel", "bfs", "--grid-size", "2x2", "--scale", "8",
+         "--dataset", "file:no_such_graph.dlx", "--threads", "2"},
+        out, err);
+    EXPECT_EQ(code, 1) << err;
+    EXPECT_NE(err.find("no_such_graph.dlx"), std::string::npos)
+        << err;
+    EXPECT_NE(out.find("rmat8"), std::string::npos) << out;
+    datasetCacheClear();
+}
+
+TEST(SweepMain, FileDatasetMatchesItsGeneratedTwin)
+{
+    // A sweep over file:R8-snapshot and rmat8 must produce identical
+    // result rows (modulo the dataset axis ordering): the loader is
+    // bit-exact and the kernel RNG stream is unchanged.
+    datasetCacheClear();
+    const std::string path =
+        testing::TempDir() + "sweep_twin_rmat8.dlx";
+    std::string error;
+    {
+        const DatasetResult built = tryMakeDataset("rmat8", 3);
+        ASSERT_TRUE(built.ok) << built.error;
+        ASSERT_TRUE(saveGraphFile(path, built.dataset, error))
+            << error;
+    }
+    const std::string file_name = "file:" + path;
+    Plan plan;
+    plan.kernels = {kernelOrDie("bfs")};
+    plan.grids = {{2, 2}};
+    plan.seed = 3;
+    plan.datasets = {{"rmat8", 0}, {file_name, 0}};
+    const RunResult result = run(expand(plan), 1);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_TRUE(result.allRowsOk());
+    const AggregateResult agg =
+        aggregate(result.okReports(), result.baseline);
+    ASSERT_TRUE(agg.ok) << agg.error;
+    ASSERT_EQ(agg.rows.size(), 2u);
+    EXPECT_EQ(agg.rows[0].report.stats.cycles,
+              agg.rows[1].report.stats.cycles);
+    EXPECT_EQ(agg.rows[0].report.datasetName,
+              agg.rows[1].report.datasetName); // both "R8"
+    std::remove(path.c_str());
+    datasetCacheClear();
 }
 
 TEST(SweepMain, ListDatasetsMentionsTheCatalog)

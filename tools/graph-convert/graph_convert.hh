@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The `dalorex convert` subcommand: one-time ingestion of text graph
+ * formats (edge list, MatrixMarket, DIMACS .gr) — or a snapshot of a
+ * generated catalog dataset — into the versioned, checksummed binary
+ * CSR format that `--dataset file:PATH` memory-maps.
+ *
+ * Kept out of src/ on the Katana `tools/graph-convert` model: the
+ * simulator never depends on ingestion, only on the graphfile loader.
+ */
+
+#ifndef DALOREX_TOOLS_GRAPH_CONVERT_HH
+#define DALOREX_TOOLS_GRAPH_CONVERT_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace dalorex
+{
+namespace convert
+{
+
+/**
+ * Full `dalorex convert` behavior: parse argv (argv[0] skipped), run,
+ * print to `out`; diagnostics go to `err`. Returns the process exit
+ * code (0 ok, 2 on usage/conversion/verification errors).
+ */
+int convertMain(int argc, const char* const* argv, std::ostream& out,
+                std::ostream& err);
+
+/** The `dalorex convert --help` text. */
+std::string convertUsageText();
+
+} // namespace convert
+} // namespace dalorex
+
+#endif // DALOREX_TOOLS_GRAPH_CONVERT_HH
