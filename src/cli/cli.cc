@@ -261,21 +261,40 @@ parseArgs(int argc, const char* const* argv)
     return result;
 }
 
+const std::vector<Subcommand>&
+subcommands()
+{
+    static const std::vector<Subcommand> table = {
+        {"sweep", "[options]",
+         "expand a scenario grid and run every point on a worker "
+         "pool"},
+        {"convert", "[options] [INPUT]",
+         "turn edge-list/MatrixMarket/DIMACS inputs into binary CSR "
+         "graph files"},
+        {"serve", "[options]",
+         "long-lived daemon running JSON scenario requests with warm "
+         "caches"},
+    };
+    return table;
+}
+
 std::string
 usageText()
 {
-    return
-        "usage: dalorex [options]\n"
-        "       dalorex sweep [options]\n"
-        "       dalorex convert [options] [INPUT]\n"
+    std::string usage = "usage: dalorex [options]\n";
+    for (const Subcommand& sub : subcommands())
+        usage += std::string("       dalorex ") + sub.name + " " +
+                 sub.args + "\n";
+    usage +=
         "\n"
         "Runs one kernel scenario on the cycle-level Dalorex engine\n"
-        "and reports runtime statistics plus the energy model. The\n"
-        "`sweep` subcommand expands a scenario grid and runs every\n"
-        "point on a worker pool (see `dalorex sweep --help`); the\n"
-        "`convert` subcommand turns edge-list/MatrixMarket/DIMACS\n"
-        "inputs into mmap-loadable binary CSR graph files (see\n"
-        "`dalorex convert --help`).\n"
+        "and reports runtime statistics plus the energy model.\n"
+        "\n"
+        "subcommands (each has its own --help):\n";
+    for (const Subcommand& sub : subcommands())
+        usage += std::string("  ") + sub.name + "\n      " +
+                 sub.summary + "\n";
+    return usage +
         "\n"
         "scenario:\n"
         "  --kernel K           " +
@@ -403,6 +422,9 @@ datasetListText()
             out << " (" << ds.aliases << ")";
         out << "\n      " << ds.note << "\n";
     }
+    const DatasetCacheStats cache = datasetCacheStats();
+    out << "dataset cache (this process): " << cache.builds
+        << " builds, " << cache.hits << " hits\n";
     return out.str();
 }
 
@@ -421,6 +443,12 @@ failRun(RunOutcome outcome, const std::string& message)
 
 RunOutcome
 runScenario(const Options& options)
+{
+    return runScenario(options, nullptr);
+}
+
+RunOutcome
+runScenario(const Options& options, EngineArenas* pool)
 {
     RunOutcome outcome;
     Report& report = outcome.report;
@@ -458,7 +486,7 @@ runScenario(const Options& options)
 
     auto app = setup.makeApp();
     Machine machine(options.machine, setup.graph.numVertices,
-                    setup.graph.numEdges);
+                    setup.graph.numEdges, pool);
     const auto engine_start = std::chrono::steady_clock::now();
     report.stats = machine.run(*app);
     report.engineWallSeconds =

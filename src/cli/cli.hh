@@ -70,6 +70,22 @@ struct ParseResult
  */
 ParseResult parseArgs(int argc, const char* const* argv);
 
+/**
+ * One `dalorex` subcommand. The table below is the single source of
+ * truth for what subcommands exist: main() dispatches from it and
+ * usageText() renders its usage lines and summaries from it, so a
+ * new subcommand cannot appear in one place and not the other.
+ */
+struct Subcommand
+{
+    const char* name;    //!< argv[1] word ("sweep")
+    const char* args;    //!< usage-line argument sketch
+    const char* summary; //!< one line for the top-level help
+};
+
+/** Every subcommand of the `dalorex` binary, dispatch order. */
+const std::vector<Subcommand>& subcommands();
+
 /** The --help text (kernel names rendered from the registry). */
 std::string usageText();
 
@@ -135,6 +151,14 @@ struct RunOutcome
  * point fails its own sweep row, not the whole grid.
  */
 RunOutcome runScenario(const Options& options);
+
+/**
+ * Same, recycling the engine's queue arenas through `pool` (see
+ * EngineArenas). Long-lived callers — `dalorex serve`, sweep workers —
+ * pass one pool per worker so back-to-back runs reuse the grown
+ * allocations; results are byte-identical either way.
+ */
+RunOutcome runScenario(const Options& options, EngineArenas* pool);
 
 /** Render a report as a single valid JSON object (with newline). */
 std::string renderJson(const Report& report);

@@ -1,26 +1,51 @@
 /**
  * @file
- * Entry point of the `dalorex` binary: dispatches the `sweep` and
- * `convert` subcommands, otherwise runs one scenario. All behavior
- * lives in cli::cliMain / sweep::sweepMain / convert::convertMain so
- * tests can drive them in-process.
+ * Entry point of the `dalorex` binary: dispatches the subcommands
+ * enumerated by cli::subcommands() — the same table the top-level
+ * help renders, so the two cannot drift — otherwise runs one
+ * scenario. All behavior lives in the per-subcommand mains so tests
+ * can drive them in-process.
  */
 
-#include <cstring>
 #include <iostream>
 
 #include "cli/cli.hh"
 #include "graph-convert/graph_convert.hh"
+#include "serve/serve_cli.hh"
 #include "sweep/sweep_cli.hh"
+
+namespace
+{
+
+int
+dispatch(const dalorex::cli::Subcommand& sub, int argc, char** argv)
+{
+    const std::string name = sub.name;
+    if (name == "sweep")
+        return dalorex::sweep::sweepMain(argc, argv, std::cout,
+                                         std::cerr);
+    if (name == "convert")
+        return dalorex::convert::convertMain(argc, argv, std::cout,
+                                             std::cerr);
+    if (name == "serve")
+        return dalorex::serve::serveMain(argc, argv, std::cin,
+                                         std::cout, std::cerr);
+    std::cerr << "dalorex: subcommand table lists '" << name
+              << "' but main() cannot dispatch it\n";
+    return 2;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
-    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
-        return dalorex::sweep::sweepMain(argc - 1, argv + 1, std::cout,
-                                         std::cerr);
-    if (argc > 1 && std::strcmp(argv[1], "convert") == 0)
-        return dalorex::convert::convertMain(argc - 1, argv + 1,
-                                             std::cout, std::cerr);
+    if (argc > 1) {
+        for (const dalorex::cli::Subcommand& sub :
+             dalorex::cli::subcommands()) {
+            if (sub.name == std::string(argv[1]))
+                return dispatch(sub, argc - 1, argv + 1);
+        }
+    }
     return dalorex::cli::cliMain(argc, argv, std::cout, std::cerr);
 }

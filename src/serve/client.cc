@@ -1,0 +1,157 @@
+#include "serve/client.hh"
+
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+#include "serve/socket_io.hh"
+
+namespace dalorex
+{
+namespace serve
+{
+namespace
+{
+
+/** Row index from a "p<index>" request id; false on junk. */
+bool
+rowFromId(const std::string& id, std::size_t rows, std::size_t& out)
+{
+    if (id.size() < 2 || id[0] != 'p')
+        return false;
+    std::uint64_t v = 0;
+    for (std::size_t i = 1; i < id.size(); ++i) {
+        if (id[i] < '0' || id[i] > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(id[i] - '0');
+        if (v >= rows)
+            return false;
+    }
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+runViaSocket(const std::string& socketPath, const std::string& client,
+             const std::vector<cli::Options>& points,
+             std::vector<cli::RunOutcome>& outcomes, std::string& err,
+             const std::atomic<bool>* cancel)
+{
+    outcomes.assign(points.size(), cli::RunOutcome{});
+    if (points.empty())
+        return true;
+
+    const int fd = connectUnix(socketPath, err);
+    if (fd < 0)
+        return false;
+
+    // Writer on its own thread: with every request written before
+    // any response is read, a big grid could fill both socket
+    // buffers and deadlock client and daemon against each other.
+    std::thread writer([&points, &client, fd] {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::string line =
+                renderRunRequest(points[i], "p" + std::to_string(i),
+                                 client) +
+                "\n";
+            if (!sendAll(fd, line))
+                return; // reader sees the broken socket too
+        }
+    });
+
+    std::vector<bool> resolved(points.size(), false);
+    std::size_t remaining = points.size();
+    bool transportOk = true;
+    bool interrupted = false;
+    LineReader reader(fd);
+    std::string line;
+    while (remaining > 0) {
+        const ReadStatus status = reader.readLine(line);
+        if (status == ReadStatus::interrupted) {
+            if (cancel != nullptr && cancel->load()) {
+                interrupted = true;
+                break;
+            }
+            continue;
+        }
+        if (status == ReadStatus::eof || status == ReadStatus::error) {
+            transportOk = false;
+            err = "daemon connection closed with " +
+                  std::to_string(remaining) + " of " +
+                  std::to_string(points.size()) +
+                  " rows outstanding";
+            break;
+        }
+
+        std::string payload;
+        if (extractResultPayload(line, payload)) {
+            // The id sits in fixed position: {"type":"result","id":X
+            const JsonParseResult parsed = parseJson(line);
+            const JsonValue* id =
+                parsed.ok ? parsed.value.find("id") : nullptr;
+            std::size_t row = 0;
+            if (id == nullptr || !id->isString() ||
+                !rowFromId(id->text, points.size(), row) ||
+                resolved[row])
+                continue; // not ours; ignore
+            cli::RunOutcome& outcome = outcomes[row];
+            std::string perr;
+            if (!parseReportPayload(payload, points[row],
+                                    outcome.report, perr)) {
+                outcome.ok = false;
+                outcome.error = perr;
+            }
+            resolved[row] = true;
+            --remaining;
+            continue;
+        }
+
+        const JsonParseResult parsed = parseJson(line);
+        if (!parsed.ok || !parsed.value.isObject())
+            continue; // daemon noise; not fatal
+        const JsonValue* type = parsed.value.find("type");
+        const JsonValue* id = parsed.value.find("id");
+        if (type == nullptr || !type->isString() || id == nullptr ||
+            !id->isString())
+            continue;
+        std::size_t row = 0;
+        if (!rowFromId(id->text, points.size(), row) || resolved[row])
+            continue;
+        if (type->text == "error") {
+            const JsonValue* message = parsed.value.find("error");
+            outcomes[row].ok = false;
+            outcomes[row].error =
+                message != nullptr && message->isString()
+                    ? message->text
+                    : "daemon error";
+            resolved[row] = true;
+            --remaining;
+        }
+        // "accepted" lines carry no outcome; skip.
+    }
+
+    // Unblock the writer if it is still pushing requests nobody will
+    // answer (interrupt / broken transport).
+    ::shutdown(fd, SHUT_RDWR);
+    writer.join();
+    ::close(fd);
+
+    if (interrupted) {
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (resolved[i])
+                continue;
+            outcomes[i].ok = false;
+            outcomes[i].error = "interrupted";
+        }
+        return true; // partial results are the point of SIGINT flush
+    }
+    return transportOk;
+}
+
+} // namespace serve
+} // namespace dalorex

@@ -1,0 +1,371 @@
+#include "serve/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace dalorex
+{
+namespace serve
+{
+namespace
+{
+
+/** Cursor over the source text with one-line error reporting. */
+struct Parser
+{
+    explicit Parser(const std::string& text) : src(text) {}
+
+    const std::string& src;
+    std::size_t pos = 0;
+    bool ok = true;
+    std::string error;
+    int depth = 0; //!< nesting guard against stack exhaustion
+
+    static constexpr int maxDepth = 64;
+
+    bool
+    fail(const std::string& message)
+    {
+        if (ok) {
+            ok = false;
+            error = message + " at byte " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' ||
+                src[pos] == '\n' || src[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < src.size() && src[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const std::size_t start = pos;
+        for (const char* p = word; *p != '\0'; ++p, ++pos) {
+            if (pos >= src.size() || src[pos] != *p) {
+                pos = start;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool parseValue(JsonValue& out);
+    bool parseString(std::string& out);
+    bool parseNumber(JsonValue& out);
+    bool parseObject(JsonValue& out);
+    bool parseArray(JsonValue& out);
+};
+
+/** Append a Unicode code point as UTF-8. */
+void
+appendUtf8(std::string& out, std::uint32_t cp)
+{
+    if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+}
+
+bool
+Parser::parseString(std::string& out)
+{
+    if (!consume('"'))
+        return fail("expected string");
+    out.clear();
+    while (pos < src.size()) {
+        const char c = src[pos];
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (static_cast<unsigned char>(c) < 0x20)
+            return fail("unescaped control character in string");
+        if (c != '\\') {
+            out.push_back(c);
+            ++pos;
+            continue;
+        }
+        ++pos; // backslash
+        if (pos >= src.size())
+            return fail("truncated escape");
+        const char esc = src[pos++];
+        switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+            auto hex4 = [&](std::uint32_t& v) {
+                v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos >= src.size() ||
+                        !std::isxdigit(
+                            static_cast<unsigned char>(src[pos])))
+                        return false;
+                    const char h = src[pos++];
+                    v = (v << 4) |
+                        static_cast<std::uint32_t>(
+                            h <= '9' ? h - '0'
+                                     : (h | 0x20) - 'a' + 10);
+                }
+                return true;
+            };
+            std::uint32_t cp = 0;
+            if (!hex4(cp))
+                return fail("bad \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+                // High surrogate: a low surrogate must follow.
+                if (!consume('\\') || !consume('u'))
+                    return fail("unpaired surrogate");
+                std::uint32_t lo = 0;
+                if (!hex4(lo) || lo < 0xDC00 || lo > 0xDFFF)
+                    return fail("unpaired surrogate");
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                return fail("unpaired surrogate");
+            }
+            appendUtf8(out, cp);
+            break;
+        }
+        default:
+            return fail("unknown escape");
+        }
+    }
+    return fail("unterminated string");
+}
+
+bool
+Parser::parseNumber(JsonValue& out)
+{
+    const std::size_t start = pos;
+    if (consume('-')) {
+    }
+    while (pos < src.size() &&
+           std::isdigit(static_cast<unsigned char>(src[pos])))
+        ++pos;
+    if (consume('.')) {
+        while (pos < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+    if (pos < src.size() && (src[pos] == 'e' || src[pos] == 'E')) {
+        ++pos;
+        if (pos < src.size() && (src[pos] == '+' || src[pos] == '-'))
+            ++pos;
+        while (pos < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+    out.kind = JsonValue::Kind::number;
+    out.raw = src.substr(start, pos - start);
+    errno = 0;
+    char* end = nullptr;
+    out.number = std::strtod(out.raw.c_str(), &end);
+    if (out.raw.empty() || end != out.raw.c_str() + out.raw.size() ||
+        errno == ERANGE)
+        return fail("bad number");
+    return true;
+}
+
+bool
+Parser::parseObject(JsonValue& out)
+{
+    out.kind = JsonValue::Kind::object;
+    ++pos; // '{'
+    skipSpace();
+    if (consume('}'))
+        return true;
+    while (true) {
+        skipSpace();
+        std::string key;
+        if (!parseString(key))
+            return false;
+        skipSpace();
+        if (!consume(':'))
+            return fail("expected ':'");
+        JsonValue value;
+        if (!parseValue(value))
+            return false;
+        out.members.emplace_back(std::move(key), std::move(value));
+        skipSpace();
+        if (consume(','))
+            continue;
+        if (consume('}'))
+            return true;
+        return fail("expected ',' or '}'");
+    }
+}
+
+bool
+Parser::parseArray(JsonValue& out)
+{
+    out.kind = JsonValue::Kind::array;
+    ++pos; // '['
+    skipSpace();
+    if (consume(']'))
+        return true;
+    while (true) {
+        JsonValue value;
+        if (!parseValue(value))
+            return false;
+        out.items.push_back(std::move(value));
+        skipSpace();
+        if (consume(','))
+            continue;
+        if (consume(']'))
+            return true;
+        return fail("expected ',' or ']'");
+    }
+}
+
+bool
+Parser::parseValue(JsonValue& out)
+{
+    skipSpace();
+    if (pos >= src.size())
+        return fail("unexpected end of input");
+    if (++depth > maxDepth)
+        return fail("nesting too deep");
+    bool result = false;
+    const char c = src[pos];
+    if (c == '{') {
+        result = parseObject(out);
+    } else if (c == '[') {
+        result = parseArray(out);
+    } else if (c == '"') {
+        out.kind = JsonValue::Kind::string;
+        result = parseString(out.text);
+    } else if (c == 't' && literal("true")) {
+        out.kind = JsonValue::Kind::boolean;
+        out.boolean = true;
+        result = true;
+    } else if (c == 'f' && literal("false")) {
+        out.kind = JsonValue::Kind::boolean;
+        out.boolean = false;
+        result = true;
+    } else if (c == 'n' && literal("null")) {
+        out.kind = JsonValue::Kind::null;
+        result = true;
+    } else if (c == '-' ||
+               std::isdigit(static_cast<unsigned char>(c))) {
+        result = parseNumber(out);
+    } else {
+        result = fail("unexpected character");
+    }
+    --depth;
+    return result;
+}
+
+} // namespace
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::object)
+        return nullptr;
+    for (const auto& [name, value] : members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+bool
+JsonValue::asU64(std::uint64_t& out) const
+{
+    if (kind != Kind::number || raw.empty())
+        return false;
+    for (const char c : raw)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false; // rejects '-', '.', exponents
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+    if (errno != 0 || end != raw.c_str() + raw.size())
+        return false;
+    out = v;
+    return true;
+}
+
+JsonParseResult
+parseJson(const std::string& text)
+{
+    JsonParseResult result;
+    Parser parser{text};
+    if (!parser.parseValue(result.value)) {
+        result.ok = false;
+        result.error = parser.error;
+        return result;
+    }
+    parser.skipSpace();
+    if (parser.pos != text.size()) {
+        result.ok = false;
+        result.error = "trailing garbage at byte " +
+                       std::to_string(parser.pos);
+    }
+    return result;
+}
+
+std::string
+jsonQuote(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char* hex = "0123456789abcdef";
+                out += "\\u00";
+                out.push_back(hex[(c >> 4) & 0xF]);
+                out.push_back(hex[c & 0xF]);
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace serve
+} // namespace dalorex

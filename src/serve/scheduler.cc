@@ -1,0 +1,114 @@
+#include "serve/scheduler.hh"
+
+#include <limits>
+
+namespace dalorex
+{
+namespace serve
+{
+
+void
+FairScheduler::setWeight(const std::string& client, double weight)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (weight > 0.0)
+        clients_[client].weight = weight;
+}
+
+std::uint64_t
+FairScheduler::push(Job job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return 0;
+    ClientQueue& q = clients_[job.request.client];
+    if (job.request.weight > 0.0)
+        q.weight = job.request.weight;
+    if (q.queued == 0)
+        // Re-activation: an idle client rejoins at the global clock
+        // instead of a stale (small) vtime, so time spent idle does
+        // not turn into a burst that starves active clients.
+        q.vtime = std::max(q.vtime, clock_);
+    const std::uint64_t ahead = depth_;
+    const int priority = job.request.priority;
+    q.pending[priority].push_back(std::move(job));
+    ++q.queued;
+    ++q.submitted;
+    ++depth_;
+    ready_.notify_one();
+    return ahead;
+}
+
+bool
+FairScheduler::pop(Job& out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return depth_ > 0 || closed_; });
+    if (depth_ == 0)
+        return false; // closed and drained
+
+    // Highest pending priority wins outright; fair share only breaks
+    // ties within that priority level.
+    int top = std::numeric_limits<int>::min();
+    for (const auto& [name, q] : clients_) {
+        (void)name;
+        if (q.queued > 0)
+            top = std::max(top, q.topPriority());
+    }
+
+    // Among clients pending at `top`, schedule the smallest virtual
+    // clock; ties go to the lexicographically first client name so
+    // the order is deterministic. std::map iteration gives us the
+    // names in sorted order, so strict `<` suffices.
+    ClientQueue* best = nullptr;
+    for (auto& [name, q] : clients_) {
+        (void)name;
+        if (q.queued == 0 || q.topPriority() != top)
+            continue;
+        if (best == nullptr || q.vtime < best->vtime)
+            best = &q;
+    }
+
+    auto it = best->pending.rbegin();
+    std::deque<Job>& fifo = it->second;
+    out = std::move(fifo.front());
+    fifo.pop_front();
+    if (fifo.empty())
+        best->pending.erase(it->first);
+    --best->queued;
+    --depth_;
+    ++best->scheduled;
+    clock_ = std::max(clock_, best->vtime);
+    best->vtime += 1.0 / best->weight;
+    return true;
+}
+
+void
+FairScheduler::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    ready_.notify_all();
+}
+
+std::uint64_t
+FairScheduler::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_;
+}
+
+std::vector<ClientStats>
+FairScheduler::clientStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ClientStats> out;
+    out.reserve(clients_.size());
+    for (const auto& [name, q] : clients_)
+        out.push_back(
+            {name, q.weight, q.submitted, q.scheduled, q.queued});
+    return out;
+}
+
+} // namespace serve
+} // namespace dalorex

@@ -1,0 +1,145 @@
+#include "serve/socket_io.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace dalorex
+{
+namespace serve
+{
+namespace
+{
+
+/** An unterminated line may grow this far before we drop the peer. */
+constexpr std::size_t maxBufferedBytes = 16 * maxRequestBytes;
+
+bool
+fillAddress(const std::string& path, sockaddr_un& addr,
+            std::string& err)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof addr.sun_path) {
+        err = "socket path must be 1.." +
+              std::to_string(sizeof addr.sun_path - 1) +
+              " bytes: " + path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+connectUnix(const std::string& path, std::string& err)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        err = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenUnix(const std::string& path, std::string& err)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str()); // the daemon owns its path
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        err = "bind " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        err = "listen " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string& data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue; // a signal mid-send must not tear the line
+        return false;
+    }
+    return true;
+}
+
+ReadStatus
+LineReader::readLine(std::string& out)
+{
+    while (true) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            out = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back();
+            return ReadStatus::line;
+        }
+        if (eof_) {
+            // A final unterminated line still counts as one line.
+            if (buffer_.empty())
+                return ReadStatus::eof;
+            out = std::move(buffer_);
+            buffer_.clear();
+            return ReadStatus::line;
+        }
+        if (buffer_.size() > maxBufferedBytes)
+            return ReadStatus::error;
+
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        if (errno == EINTR)
+            return ReadStatus::interrupted;
+        return ReadStatus::error;
+    }
+}
+
+} // namespace serve
+} // namespace dalorex

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unix-domain-socket plumbing shared by the `dalorex serve` daemon
+ * and its clients (the sweep `--via` submitter): connect/listen on a
+ * filesystem path, full-buffer sends, and a newline-framed reader
+ * that distinguishes EOF, signal interruption and hard errors — the
+ * daemon must keep serving through EINTR but stop on a real error,
+ * and the client must notice a SIGINT mid-read to flush partial rows.
+ */
+
+#ifndef DALOREX_SERVE_SOCKET_IO_HH
+#define DALOREX_SERVE_SOCKET_IO_HH
+
+#include <string>
+
+namespace dalorex
+{
+namespace serve
+{
+
+/**
+ * Connect to the daemon socket at `path`. Returns the fd, or -1 with
+ * a one-line diagnostic in `err`.
+ */
+int connectUnix(const std::string& path, std::string& err);
+
+/**
+ * Bind + listen on `path` (an existing socket file is replaced — the
+ * daemon owns its path). Returns the listening fd, or -1 with `err`.
+ */
+int listenUnix(const std::string& path, std::string& err);
+
+/** Write all of `data` (retrying partial sends; SIGPIPE suppressed).
+ *  False when the peer is gone. */
+bool sendAll(int fd, const std::string& data);
+
+/** One readLine() outcome. */
+enum class ReadStatus
+{
+    line,        //!< `out` holds one line (newline stripped)
+    eof,         //!< peer closed; no partial line pending
+    interrupted, //!< a signal arrived before any data
+    error,       //!< connection broken or the line cap exceeded
+};
+
+/**
+ * Newline framing over a blocking fd. Lines longer than the protocol
+ * cap still come out whole (parseRequestLine turns them into an
+ * `error` response) up to a hard memory cap, past which readLine
+ * reports `error` — a peer streaming an endless unterminated line
+ * must not buffer without bound.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    ReadStatus readLine(std::string& out);
+
+  private:
+    int fd_;
+    std::string buffer_;
+    bool eof_ = false;
+};
+
+} // namespace serve
+} // namespace dalorex
+
+#endif // DALOREX_SERVE_SOCKET_IO_HH

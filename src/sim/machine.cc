@@ -143,10 +143,11 @@ TaskCtx::countEdges(std::uint64_t n)
 // ---------------------------------------------------------------- Machine
 
 Machine::Machine(const MachineConfig& config, VertexId num_vertices,
-                 EdgeId num_edges)
+                 EdgeId num_edges, EngineArenas* recycle)
     : config_(config),
       partition_(num_vertices, num_edges, config.numTiles(),
-                 config.distribution)
+                 config.distribution),
+      recycle_(recycle)
 {
     fatal_if(config_.numTiles() == 0, "machine needs at least one tile");
     if (config_.topology == NocTopology::torusRuche)
@@ -155,6 +156,22 @@ Machine::Machine(const MachineConfig& config, VertexId num_vertices,
     tiles_.resize(config_.numTiles());
     for (TileId t = 0; t < tiles_.size(); ++t)
         tiles_[t].id = t;
+    if (recycle_ != nullptr) {
+        // Adopt the pool's capacity; finalizeQueues() assign()s every
+        // element it uses, so stale contents cannot leak into a run.
+        iqArena_ = std::move(recycle_->iq);
+        cqArena_ = std::move(recycle_->cq);
+    }
+}
+
+Machine::~Machine()
+{
+    if (recycle_ != nullptr) {
+        // The tiles' queue views die with us; hand the raw capacity
+        // back to the pool for the next Machine.
+        recycle_->iq = std::move(iqArena_);
+        recycle_->cq = std::move(cqArena_);
+    }
 }
 
 TaskId

@@ -312,6 +312,21 @@ class TaskCtx
     std::uint32_t mutations_ = 0;
 };
 
+/**
+ * Recyclable engine allocations, for callers that run many machines
+ * back to back (the sweep library, `dalorex serve`). A Machine built
+ * with one adopts the vectors as its queue arenas and returns them on
+ * destruction, so successive runs reuse the grown capacity instead of
+ * re-faulting fresh pages. Purely an allocation-reuse contract:
+ * finalizeQueues() value-(re)initializes every element it uses, so
+ * results are byte-identical with or without recycling.
+ */
+struct EngineArenas
+{
+    std::vector<Word> iq;
+    std::vector<Message> cq;
+};
+
 /** The simulated Dalorex chip. */
 class Machine
 {
@@ -320,9 +335,15 @@ class Machine
      * @param config       Machine shape and policy knobs.
      * @param num_vertices Dataset vertex count (partitioning).
      * @param num_edges    Dataset edge count (partitioning).
+     * @param recycle      Optional arena pool to adopt and, on
+     *                     destruction, return (see EngineArenas).
      */
     Machine(const MachineConfig& config, VertexId num_vertices,
-            EdgeId num_edges);
+            EdgeId num_edges, EngineArenas* recycle = nullptr);
+    ~Machine();
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
 
     // --- registration (App::configure) ----------------------------
     /** Register a task; returns its TaskId (registration order). */
@@ -422,6 +443,7 @@ class Machine
     // Pooled backing storage of every tile queue (finalizeQueues).
     std::vector<Word> iqArena_;
     std::vector<Message> cqArena_;
+    EngineArenas* recycle_ = nullptr; //!< arena pool to return to
 
     // Execution shards: contiguous tile ranges plus per-shard
     // accumulators; tileShard_ maps tile -> owning shard.

@@ -16,6 +16,13 @@ run(const Plan& plan, unsigned threads)
 RunResult
 run(const ExpandResult& expanded, unsigned threads)
 {
+    return run(expanded, threads, nullptr);
+}
+
+RunResult
+run(const ExpandResult& expanded, unsigned threads,
+    const std::atomic<bool>* cancel)
+{
     RunResult result;
     if (!expanded.ok) {
         result.ok = false;
@@ -25,6 +32,11 @@ run(const ExpandResult& expanded, unsigned threads)
     result.baseline = expanded.baseline;
     result.outcomes.resize(expanded.points.size());
     runIndexed(expanded.points.size(), threads, [&](std::size_t i) {
+        if (cancel != nullptr && cancel->load()) {
+            result.outcomes[i].ok = false;
+            result.outcomes[i].error = "interrupted";
+            return;
+        }
         result.outcomes[i] = cli::runScenario(expanded.points[i]);
     });
     return result;

@@ -13,6 +13,7 @@
 #ifndef DALOREX_SWEEP_SWEEP_HH
 #define DALOREX_SWEEP_SWEEP_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,16 @@ RunResult run(const Plan& plan, unsigned threads);
 
 /** Run an already-expanded plan (also propagates its !ok state). */
 RunResult run(const ExpandResult& expanded, unsigned threads);
+
+/**
+ * Same, with cooperative cancellation: once `*cancel` is true (a
+ * SIGINT handler sets it), points not yet started fail their own row
+ * with "interrupted" instead of running, while in-flight points
+ * finish normally — the caller flushes the completed rows as partial
+ * output. nullptr behaves like the overload above.
+ */
+RunResult run(const ExpandResult& expanded, unsigned threads,
+              const std::atomic<bool>* cancel);
 
 } // namespace sweep
 } // namespace dalorex

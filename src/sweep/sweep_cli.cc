@@ -1,13 +1,17 @@
 #include "sweep/sweep_cli.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <ostream>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/text.hh"
+#include "graph/dataset_cache.hh"
 #include "graph/datasets.hh"
+#include "serve/client.hh"
 #include "sweep/aggregate.hh"
 #include "sweep/pool.hh"
 #include "sweep/sweep.hh"
@@ -18,6 +22,37 @@ namespace sweep
 {
 namespace
 {
+
+/** Set by the SIGINT handler while a sweep is executing. */
+std::atomic<bool> interrupted{false};
+
+void
+onInterrupt(int)
+{
+    interrupted.store(true);
+}
+
+/**
+ * Install the SIGINT handler for the run phase and restore the old
+ * one on destruction. No SA_RESTART: the serve client's blocked
+ * reads must return EINTR so a ^C flushes partial rows promptly.
+ */
+struct InterruptGuard
+{
+    struct sigaction old{};
+
+    InterruptGuard()
+    {
+        interrupted.store(false);
+        struct sigaction sa{};
+        sa.sa_handler = onInterrupt;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0;
+        sigaction(SIGINT, &sa, &old);
+    }
+
+    ~InterruptGuard() { sigaction(SIGINT, &old, nullptr); }
+};
 
 std::vector<std::string>
 splitCommas(const std::string& text)
@@ -76,6 +111,7 @@ parseSweepArgs(int argc, const char* const* argv)
             "--ruche-factor", "--invoke-overhead", "--seed",
             "--pagerank-iters", "--param",  "--engine-threads",
             "--engine-scan", "--threads", "--csv", "--jsonl",
+            "--via",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -242,6 +278,10 @@ parseSweepArgs(int argc, const char* const* argv)
                 return fail("--threads must be in [1, 256], got " +
                             value);
             o.threads = threads;
+        } else if (flag == "--via") {
+            if (value.empty() || value.rfind("--", 0) == 0)
+                return fail("--via needs a daemon socket path");
+            o.via = value;
         } else if (flag == "--csv") {
             if (value.empty() || value.rfind("--", 0) == 0)
                 return fail("--csv needs a file path");
@@ -351,6 +391,10 @@ sweepUsageText()
         "                        --engine-threads value and must"
         " cover it;\n"
         "                        output is identical for every N\n"
+        "  --via SOCKET          submit the points to a running\n"
+        "                        `dalorex serve` daemon at this Unix\n"
+        "                        socket instead of running in-process\n"
+        "                        (output is byte-identical)\n"
         "  --csv PATH            write the aggregate table as CSV\n"
         "  --jsonl PATH          write one JSON object per row\n"
         "  --json                print JSON-lines to stdout instead"
@@ -395,60 +439,117 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         err << "dalorex sweep: " << expanded.error << "\n";
         return 2;
     }
-    // One thread budget: `--threads` covers sweep workers times the
-    // engine threads inside each point, so a machine-parallel sweep
-    // does not oversubscribe the host. Workers = threads / max axis
-    // value (at least 1). An explicit budget below the largest
-    // engine-threads value cannot be honored — refuse it instead of
-    // silently oversubscribing; a defaulted budget grows to fit.
-    unsigned max_engine_threads = 1;
-    for (const unsigned n : o.plan.engineThreads)
-        max_engine_threads = std::max(max_engine_threads, n);
-    if (o.threads > 0 && o.threads < max_engine_threads) {
-        err << "dalorex sweep: --threads " << o.threads
-            << " is below the largest --engine-threads value ("
-            << max_engine_threads
-            << "); raise the budget or lower the axis\n";
-        return 2;
-    }
-    const unsigned budget =
-        o.threads > 0
-            ? o.threads
-            : std::max(defaultWorkerThreads(), max_engine_threads);
-    const unsigned threads =
-        std::max(1u, budget / max_engine_threads);
-    err << "[sweep] " << expanded.points.size()
-        << " scenario points on " << threads << " worker thread"
-        << (threads == 1 ? "" : "s");
-    if (max_engine_threads > 1)
-        err << " x " << max_engine_threads
-            << " engine threads (budget " << budget << ")";
-    err << "\n";
 
-    const RunResult run_result = run(expanded, threads);
+    // SIGINT during the run phase degrades to a partial sweep: rows
+    // already completed still aggregate, flush and report below with
+    // exit code 130, instead of dropping everything on the floor.
+    const DatasetCacheStats cache_before = datasetCacheStats();
+    InterruptGuard sigint;
+    RunResult run_result;
+    if (!o.via.empty()) {
+        // Client mode: the daemon executes the points; its warm
+        // dataset cache and resident crew replace the local pool.
+        err << "[sweep] submitting " << expanded.points.size()
+            << " scenario points to the daemon at " << o.via << "\n";
+        run_result.baseline = expanded.baseline;
+        std::string via_error;
+        if (!serve::runViaSocket(o.via, "sweep", expanded.points,
+                                 run_result.outcomes, via_error,
+                                 &interrupted)) {
+            err << "dalorex sweep: " << via_error << "\n";
+            return 2;
+        }
+    } else {
+        // One thread budget: `--threads` covers sweep workers times
+        // the engine threads inside each point, so a machine-parallel
+        // sweep does not oversubscribe the host. Workers = threads /
+        // max axis value (at least 1). An explicit budget below the
+        // largest engine-threads value cannot be honored — refuse it
+        // instead of silently oversubscribing; a defaulted budget
+        // grows to fit.
+        unsigned max_engine_threads = 1;
+        for (const unsigned n : o.plan.engineThreads)
+            max_engine_threads = std::max(max_engine_threads, n);
+        if (o.threads > 0 && o.threads < max_engine_threads) {
+            err << "dalorex sweep: --threads " << o.threads
+                << " is below the largest --engine-threads value ("
+                << max_engine_threads
+                << "); raise the budget or lower the axis\n";
+            return 2;
+        }
+        const unsigned budget =
+            o.threads > 0
+                ? o.threads
+                : std::max(defaultWorkerThreads(),
+                           max_engine_threads);
+        const unsigned threads =
+            std::max(1u, budget / max_engine_threads);
+        err << "[sweep] " << expanded.points.size()
+            << " scenario points on " << threads << " worker thread"
+            << (threads == 1 ? "" : "s");
+        if (max_engine_threads > 1)
+            err << " x " << max_engine_threads
+                << " engine threads (budget " << budget << ")";
+        err << "\n";
+
+        run_result = run(expanded, threads, &interrupted);
+    }
     if (!run_result.ok) {
         err << "dalorex sweep: " << run_result.error << "\n";
         return 2;
     }
+    const bool was_interrupted = interrupted.load();
+
     // A failed point fails only its own row: report it, render the
     // survivors (whose baseline row may be among the casualties, so
-    // degrade missing baselines to "-" instead of erroring).
-    const std::vector<std::string> row_errors =
-        run_result.rowErrors();
+    // degrade missing baselines to "-" instead of erroring). Rows an
+    // interrupt skipped are summarized in one line, not per row.
+    std::vector<std::string> row_errors;
+    std::size_t skipped = 0;
+    for (const std::string& line : run_result.rowErrors()) {
+        if (was_interrupted &&
+            line.rfind(": interrupted") ==
+                line.size() - std::string(": interrupted").size()) {
+            ++skipped;
+            continue;
+        }
+        row_errors.push_back(line);
+    }
     for (const std::string& line : row_errors)
         err << "dalorex sweep: " << line << "\n";
-    const AggregateResult agg =
-        aggregate(run_result.okReports(), run_result.baseline,
-                  row_errors.empty() ? MissingBaseline::error
-                                     : MissingBaseline::skip);
+    const AggregateResult agg = aggregate(
+        run_result.okReports(), run_result.baseline,
+        row_errors.empty() && !was_interrupted
+            ? MissingBaseline::error
+            : MissingBaseline::skip);
     if (!agg.ok) {
         err << "dalorex sweep: " << agg.error << "\n";
         return 2;
     }
 
+    // One summary line closes the machine-readable outputs: row
+    // accounting plus the dataset-cache traffic this sweep caused —
+    // the warm-cache effect (PR 6/7) measured where users can see it.
+    const DatasetCacheStats cache_after = datasetCacheStats();
+    const std::string summary =
+        "{\"type\":\"summary\",\"points\":" +
+        std::to_string(expanded.points.size()) +
+        ",\"rows_ok\":" + std::to_string(agg.rows.size()) +
+        ",\"rows_failed\":" + std::to_string(row_errors.size()) +
+        ",\"rows_skipped\":" + std::to_string(skipped) +
+        ",\"dataset_cache_builds\":" +
+        std::to_string(cache_before.builds <= cache_after.builds
+                           ? cache_after.builds - cache_before.builds
+                           : 0) +
+        ",\"dataset_cache_hits\":" +
+        std::to_string(cache_before.hits <= cache_after.hits
+                           ? cache_after.hits - cache_before.hits
+                           : 0) +
+        "}\n";
+
     const Table table = toTable(agg.rows);
     if (o.json)
-        out << toJsonl(agg.rows);
+        out << toJsonl(agg.rows) << summary;
     else
         out << table.toText();
     if (!o.csvPath.empty())
@@ -457,9 +558,15 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         std::ofstream file(o.jsonlPath);
         fatal_if(!file, "cannot open JSONL output file: ",
                  o.jsonlPath);
-        file << toJsonl(agg.rows);
+        file << toJsonl(agg.rows) << summary;
         fatal_if(!file, "error writing JSONL output file: ",
                  o.jsonlPath);
+    }
+    if (was_interrupted) {
+        err << "[sweep] interrupted: " << agg.rows.size()
+            << " completed row" << (agg.rows.size() == 1 ? "" : "s")
+            << " flushed, " << skipped << " skipped\n";
+        return 130;
     }
     return row_errors.empty() ? 0 : 1;
 }

@@ -26,6 +26,10 @@ struct SweepOptions
 {
     Plan plan;
     unsigned threads = 0;  //!< 0 = host core count
+    /** `--via SOCKET`: submit the expanded points to a running
+     *  `dalorex serve` daemon instead of executing them in-process.
+     *  Output is byte-identical either way ("" = run locally). */
+    std::string via;
     std::string csvPath;   //!< write aggregate CSV here ("" = off)
     std::string jsonlPath; //!< write JSONL rows here ("" = off)
     bool json = false;     //!< print JSONL to stdout, not the table

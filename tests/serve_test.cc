@@ -1,0 +1,649 @@
+/**
+ * @file
+ * Tests of the `dalorex serve` subsystem: the JSON reader, the wire
+ * protocol (parse/render round trips, malformed/unknown/oversized
+ * requests), the priority + fair-share scheduler, the server core's
+ * robustness (a bad line answers with `error` and the daemon keeps
+ * serving), the byte-identity contract between serve-backed and
+ * standalone runs, the warm dataset cache across requests, and the
+ * socket transport end to end with `dalorex sweep --via`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cli/cli.hh"
+#include "graph/dataset_cache.hh"
+#include "serve/client.hh"
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+#include "serve/scheduler.hh"
+#include "serve/serve_cli.hh"
+#include "serve/server.hh"
+#include "serve/socket_io.hh"
+#include "sweep/sweep.hh"
+#include "sweep/sweep_cli.hh"
+
+namespace dalorex
+{
+namespace serve
+{
+namespace
+{
+
+// --- JSON reader -----------------------------------------------------
+
+TEST(JsonReader, ParsesScalarsAndStructure)
+{
+    const JsonParseResult r = parseJson(
+        R"({"a":1,"b":-2.5,"c":"x\n\u0041","d":[true,false,null],)"
+        R"("big":18446744073709551615})");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.value.isObject());
+    std::uint64_t v = 0;
+    ASSERT_TRUE(r.value.find("a")->asU64(v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_FALSE(r.value.find("b")->asU64(v)); // negative/fractional
+    EXPECT_EQ(r.value.find("c")->text, "x\nA");
+    EXPECT_EQ(r.value.find("d")->items.size(), 3u);
+    // 64-bit integers round-trip exactly via the raw token.
+    ASSERT_TRUE(r.value.find("big")->asU64(v));
+    EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(JsonReader, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(parseJson("").ok);
+    EXPECT_FALSE(parseJson("{").ok);
+    EXPECT_FALSE(parseJson("{}extra").ok);
+    EXPECT_FALSE(parseJson("{\"a\":01x}").ok);
+    EXPECT_FALSE(parseJson("\"\\q\"").ok);
+    EXPECT_FALSE(parseJson("{\"a\" 1}").ok);
+    std::string deep(100, '[');
+    EXPECT_FALSE(parseJson(deep).ok); // nesting guard, no crash
+}
+
+TEST(JsonReader, QuoteEscapesRoundTrip)
+{
+    const std::string text = "a\"b\\c\nd\te\x01";
+    const JsonParseResult r = parseJson(jsonQuote(text));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.text, text);
+}
+
+// --- protocol --------------------------------------------------------
+
+TEST(Protocol, ParsesFullRunRequest)
+{
+    const ParsedRequest p = parseRequestLine(
+        R"({"type":"run","id":"r1","client":"alice","priority":3,)"
+        R"("weight":2.5,"kernel":"pagerank","scale":8,"width":2,)"
+        R"("height":4,"topology":"mesh","policy":"round-robin",)"
+        R"("distribution":"high-order","barrier":true,)"
+        R"("invoke_overhead":50,"engine_threads":2,)"
+        R"("engine_scan":"full","params":"damping=0.9",)"
+        R"("seed":7,"validate":true})");
+    ASSERT_TRUE(p.ok) << p.error;
+    const Request& r = p.request;
+    EXPECT_EQ(r.id, "r1");
+    EXPECT_EQ(r.client, "alice");
+    EXPECT_EQ(r.priority, 3);
+    EXPECT_DOUBLE_EQ(r.weight, 2.5);
+    EXPECT_EQ(r.options.kernel->name, "pagerank");
+    EXPECT_EQ(r.options.scale, 8u);
+    EXPECT_EQ(r.options.machine.width, 2u);
+    EXPECT_EQ(r.options.machine.height, 4u);
+    EXPECT_EQ(r.options.machine.topology, NocTopology::mesh);
+    EXPECT_EQ(r.options.machine.policy, SchedPolicy::roundRobin);
+    EXPECT_EQ(r.options.machine.distribution,
+              Distribution::highOrder);
+    EXPECT_TRUE(r.options.machine.barrier);
+    EXPECT_EQ(r.options.machine.invokeOverhead, 50u);
+    EXPECT_EQ(r.options.machine.engineThreads, 2u);
+    EXPECT_EQ(r.options.machine.engineScan, EngineScan::full);
+    ASSERT_EQ(r.options.params.size(), 1u);
+    EXPECT_EQ(r.options.params[0].name, "damping");
+    EXPECT_EQ(r.options.seed, 7u);
+    EXPECT_TRUE(r.options.validate);
+    // Mesh never has a ruche factor (mirrors cli::parseArgs).
+    EXPECT_EQ(r.options.machine.rucheFactor, 0u);
+}
+
+TEST(Protocol, RejectsBadRequestsWithRecoveredId)
+{
+    EXPECT_FALSE(parseRequestLine("not json at all").ok);
+    EXPECT_FALSE(parseRequestLine("[1,2,3]").ok);
+    EXPECT_FALSE(parseRequestLine(R"({"type":"run"})").ok); // no id
+
+    ParsedRequest p =
+        parseRequestLine(R"({"type":"dance","id":"x1"})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.request.id, "x1");
+
+    p = parseRequestLine(
+        R"({"type":"run","id":"k1","kernel":"nope"})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.request.id, "k1");
+    EXPECT_NE(p.error.find("unknown kernel"), std::string::npos);
+
+    p = parseRequestLine(
+        R"({"type":"run","id":"d1","dataset":"nope"})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_NE(p.error.find("unknown dataset"), std::string::npos);
+
+    p = parseRequestLine(
+        R"({"type":"run","id":"f1","flux_capacitor":1})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_NE(p.error.find("unknown request field"),
+              std::string::npos);
+
+    p = parseRequestLine(
+        R"({"type":"run","id":"p1","priority":101})");
+    EXPECT_FALSE(p.ok);
+
+    // Oversized line: refused, id recovered from the prefix.
+    std::string big = R"({"type":"run","id":"big1","params":")";
+    big += std::string(maxRequestBytes, 'x');
+    big += "\"}";
+    p = parseRequestLine(big);
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.request.id, "big1");
+    EXPECT_NE(p.error.find("exceeds"), std::string::npos);
+}
+
+TEST(Protocol, RenderParseRoundTripPreservesScenario)
+{
+    cli::Options o;
+    ASSERT_TRUE(cli::parseKernel("sssp", o.kernel));
+    o.scale = 9;
+    o.seed = 42;
+    o.machine.width = 4;
+    o.machine.height = 2;
+    o.machine.topology = NocTopology::torusRuche;
+    o.machine.rucheFactor = 3;
+    o.machine.invokeOverhead = 5;
+    o.machine.engineThreads = 2;
+    o.params.push_back({"iterations", 12.0});
+    o.validate = true;
+
+    const ParsedRequest p = parseRequestLine(
+        renderRunRequest(o, "rt1", "tester", 2));
+    ASSERT_TRUE(p.ok) << p.error;
+    const cli::Options& q = p.request.options;
+    EXPECT_EQ(q.kernel, o.kernel);
+    EXPECT_EQ(q.scale, o.scale);
+    EXPECT_EQ(q.seed, o.seed);
+    EXPECT_EQ(q.machine.width, o.machine.width);
+    EXPECT_EQ(q.machine.height, o.machine.height);
+    EXPECT_EQ(q.machine.topology, o.machine.topology);
+    EXPECT_EQ(q.machine.rucheFactor, o.machine.rucheFactor);
+    EXPECT_EQ(q.machine.invokeOverhead, o.machine.invokeOverhead);
+    EXPECT_EQ(q.machine.engineThreads, o.machine.engineThreads);
+    ASSERT_EQ(q.params.size(), 1u);
+    EXPECT_EQ(q.params[0].name, "iterations");
+    EXPECT_DOUBLE_EQ(q.params[0].value, 12.0);
+    EXPECT_EQ(q.validate, o.validate);
+    EXPECT_EQ(p.request.priority, 2);
+    EXPECT_EQ(p.request.client, "tester");
+}
+
+TEST(Protocol, ResultPayloadExtractionIsExact)
+{
+    const std::string payload =
+        "{\"kernel\":\"bfs\",\"id\":\",\\\"report\\\":\"}\n";
+    const std::string line = resultLine("r,\"x", payload);
+    std::string back;
+    ASSERT_TRUE(extractResultPayload(line, back));
+    EXPECT_EQ(back, payload);
+
+    EXPECT_FALSE(extractResultPayload("{\"type\":\"error\"}", back));
+}
+
+// --- scheduler -------------------------------------------------------
+
+Job
+makeJob(const std::string& client, int priority,
+        const std::string& id)
+{
+    Job job;
+    job.request.id = id;
+    job.request.client = client;
+    job.request.priority = priority;
+    return job;
+}
+
+TEST(Scheduler, PriorityBeatsFairShareAndFifoWithinClient)
+{
+    FairScheduler sched;
+    sched.push(makeJob("a", 0, "a1"));
+    sched.push(makeJob("a", 0, "a2"));
+    sched.push(makeJob("b", 5, "b1"));
+
+    Job job;
+    ASSERT_TRUE(sched.pop(job));
+    EXPECT_EQ(job.request.id, "b1"); // priority first
+    ASSERT_TRUE(sched.pop(job));
+    EXPECT_EQ(job.request.id, "a1"); // then FIFO within the client
+    ASSERT_TRUE(sched.pop(job));
+    EXPECT_EQ(job.request.id, "a2");
+
+    sched.close();
+    EXPECT_FALSE(sched.pop(job)); // closed + drained
+}
+
+TEST(Scheduler, WeightsShareServiceProportionally)
+{
+    FairScheduler sched;
+    sched.setWeight("heavy", 2.0);
+    for (int i = 0; i < 9; ++i) {
+        sched.push(makeJob("heavy", 0, "h" + std::to_string(i)));
+        sched.push(makeJob("light", 0, "l" + std::to_string(i)));
+    }
+    // Over the first 6 grants, a weight-2 client gets ~2x the grants
+    // of a weight-1 client (stride scheduling: vtime += 1/weight).
+    int heavy = 0;
+    Job job;
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(sched.pop(job));
+        if (job.request.client == "heavy")
+            ++heavy;
+    }
+    EXPECT_EQ(heavy, 4);
+}
+
+TEST(Scheduler, IdleClientRejoinsAtTheGlobalClock)
+{
+    FairScheduler sched;
+    Job job;
+    // `busy` accumulates vtime while `idle` submits nothing.
+    for (int i = 0; i < 8; ++i)
+        sched.push(makeJob("busy", 0, "b" + std::to_string(i)));
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(sched.pop(job));
+    // A newcomer must not drain its backlog ahead of the incumbent's:
+    // service alternates instead of bursting all of `idle` first.
+    sched.push(makeJob("idle", 0, "i0"));
+    sched.push(makeJob("idle", 0, "i1"));
+    ASSERT_TRUE(sched.pop(job));
+    const std::string first = job.request.client;
+    ASSERT_TRUE(sched.pop(job));
+    EXPECT_NE(job.request.client, first);
+}
+
+// --- server core -----------------------------------------------------
+
+/** Collects response lines from one connection, thread-safe. */
+struct Capture
+{
+    std::mutex mutex;
+    std::vector<std::string> lines;
+
+    Server::Sink
+    sink()
+    {
+        return [this](const std::string& line) {
+            std::lock_guard<std::mutex> lock(mutex);
+            lines.push_back(line);
+        };
+    }
+
+    std::vector<std::string>
+    snapshot()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return lines;
+    }
+
+    /** The first line whose JSON has this type and id. */
+    bool
+    findLine(const std::string& type, const std::string& id,
+             std::string& out)
+    {
+        for (const std::string& line : snapshot()) {
+            const JsonParseResult r = parseJson(line);
+            if (!r.ok || !r.value.isObject())
+                continue;
+            const JsonValue* t = r.value.find("type");
+            const JsonValue* i = r.value.find("id");
+            if (t != nullptr && t->isString() && t->text == type &&
+                i != nullptr && i->isString() && i->text == id) {
+                out = line;
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+/** A tiny scenario that runs in milliseconds. */
+std::string
+runLine(const std::string& id, const std::string& extra = "")
+{
+    return "{\"type\":\"run\",\"id\":\"" + id +
+           "\",\"kernel\":\"bfs\",\"scale\":6,\"width\":2,"
+           "\"height\":2" + extra + "}";
+}
+
+cli::Options
+tinyOptions()
+{
+    cli::Options o;
+    EXPECT_TRUE(cli::parseKernel("bfs", o.kernel));
+    o.scale = 6;
+    o.machine.width = 2;
+    o.machine.height = 2;
+    return o;
+}
+
+TEST(ServerCore, BadLinesGetErrorsAndTheDaemonKeepsServing)
+{
+    Server server(1);
+    Capture capture;
+    const std::uint64_t conn = server.openConnection(capture.sink());
+
+    server.handleLine(conn, "garbage{{{");
+    server.handleLine(conn, R"({"type":"run","id":"bad-kernel",)"
+                            R"("kernel":"warp-drive"})");
+    std::string big = R"({"type":"run","id":"too-big","params":")";
+    big += std::string(maxRequestBytes, 'x');
+    big += "\"}";
+    server.handleLine(conn, big);
+    server.handleLine(conn, runLine("ok-after-errors"));
+    server.handleLine(conn, R"({"type":"shutdown","id":"q"})");
+    server.serve(); // drains the accepted run, then returns
+
+    std::string line;
+    EXPECT_TRUE(capture.findLine("error", "", line)); // garbage
+    EXPECT_TRUE(capture.findLine("error", "bad-kernel", line));
+    EXPECT_NE(line.find("unknown kernel"), std::string::npos);
+    EXPECT_TRUE(capture.findLine("error", "too-big", line));
+    EXPECT_TRUE(capture.findLine("accepted", "ok-after-errors", line));
+    EXPECT_TRUE(capture.findLine("result", "ok-after-errors", line));
+    EXPECT_TRUE(capture.findLine("accepted", "q", line));
+}
+
+TEST(ServerCore, ResultPayloadIsByteIdenticalToStandaloneRun)
+{
+    const cli::Options options = tinyOptions();
+    const cli::RunOutcome standalone = cli::runScenario(options);
+    ASSERT_TRUE(standalone.ok) << standalone.error;
+    const std::string expected = cli::renderJson(standalone.report);
+
+    Server server(1);
+    Capture capture;
+    const std::uint64_t conn = server.openConnection(capture.sink());
+    server.handleLine(conn, runLine("bytes"));
+    server.requestShutdown();
+    server.serve();
+
+    std::string line;
+    ASSERT_TRUE(capture.findLine("result", "bytes", line));
+    std::string payload;
+    ASSERT_TRUE(extractResultPayload(line, payload));
+    EXPECT_EQ(payload, expected);
+}
+
+TEST(ServerCore, SecondRequestForSameDatasetBuildsNothing)
+{
+    datasetCacheClear();
+    Server server(1);
+    Capture capture;
+    const std::uint64_t conn = server.openConnection(capture.sink());
+    server.handleLine(conn, runLine("warm-1"));
+    server.handleLine(conn, runLine("warm-2"));
+    server.requestShutdown();
+    server.serve();
+
+    std::string line;
+    ASSERT_TRUE(capture.findLine("result", "warm-1", line));
+    ASSERT_TRUE(capture.findLine("result", "warm-2", line));
+    const DatasetCacheStats cache = datasetCacheStats();
+    EXPECT_EQ(cache.builds, 1u); // second request: zero extra builds
+    EXPECT_EQ(cache.hits, 1u);
+
+    // The stats response reports the same counters.
+    server.handleLine(conn, R"({"type":"stats","id":"s"})");
+    ASSERT_TRUE(capture.findLine("stats", "s", line));
+    const JsonParseResult parsed = parseJson(line);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const JsonValue* stats = parsed.value.find("stats");
+    ASSERT_NE(stats, nullptr);
+    const JsonValue* dc = stats->find("dataset_cache");
+    ASSERT_NE(dc, nullptr);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(dc->find("builds")->asU64(v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(stats->find("runs_completed")->asU64(v));
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(ServerCore, ConcurrentClientsGetInterleavedButCompleteJsonl)
+{
+    Server server(2);
+    Capture a;
+    Capture b;
+    const std::uint64_t connA = server.openConnection(a.sink());
+    const std::uint64_t connB = server.openConnection(b.sink());
+
+    constexpr int jobs = 3;
+    std::thread clientA([&] {
+        for (int i = 0; i < jobs; ++i)
+            server.handleLine(
+                connA, runLine("a" + std::to_string(i),
+                               ",\"client\":\"alice\""));
+    });
+    std::thread clientB([&] {
+        for (int i = 0; i < jobs; ++i)
+            server.handleLine(
+                connB, runLine("b" + std::to_string(i),
+                               ",\"client\":\"bob\",\"priority\":1"));
+    });
+    clientA.join();
+    clientB.join();
+    server.requestShutdown();
+    server.serve();
+
+    // Every line each client got is whole, well-formed JSON with its
+    // own ids only, and every request has accepted + result.
+    std::string line;
+    for (int i = 0; i < jobs; ++i) {
+        EXPECT_TRUE(a.findLine("accepted", "a" + std::to_string(i),
+                               line));
+        EXPECT_TRUE(a.findLine("result", "a" + std::to_string(i),
+                               line));
+        EXPECT_TRUE(b.findLine("accepted", "b" + std::to_string(i),
+                               line));
+        EXPECT_TRUE(b.findLine("result", "b" + std::to_string(i),
+                               line));
+    }
+    for (const std::string& got : a.snapshot()) {
+        EXPECT_TRUE(parseJson(got).ok);
+        EXPECT_EQ(got.find("\"id\":\"b"), std::string::npos);
+    }
+    for (const std::string& got : b.snapshot())
+        EXPECT_TRUE(parseJson(got).ok);
+}
+
+// --- report reconstruction (the sweep --via data path) ---------------
+
+TEST(ReportReconstruction, RebuiltReportAggregatesIdentically)
+{
+    const cli::Options options = tinyOptions();
+    const cli::RunOutcome local = cli::runScenario(options);
+    ASSERT_TRUE(local.ok) << local.error;
+
+    cli::Report rebuilt;
+    std::string err;
+    ASSERT_TRUE(parseReportPayload(cli::renderJson(local.report),
+                                   options, rebuilt, err))
+        << err;
+    EXPECT_EQ(rebuilt.stats.cycles, local.report.stats.cycles);
+    EXPECT_EQ(rebuilt.stats.puOps, local.report.stats.puOps);
+    EXPECT_EQ(rebuilt.stats.noc.flitHops,
+              local.report.stats.noc.flitHops);
+    EXPECT_DOUBLE_EQ(rebuilt.seconds, local.report.seconds);
+    EXPECT_DOUBLE_EQ(rebuilt.energy.totalJ(),
+                     local.report.energy.totalJ());
+    EXPECT_DOUBLE_EQ(rebuilt.stats.utilization(),
+                     local.report.stats.utilization());
+    // The reconstructed report renders the same JSON bytes again.
+    EXPECT_EQ(cli::renderJson(rebuilt),
+              cli::renderJson(local.report));
+}
+
+// --- stdin transport -------------------------------------------------
+
+TEST(ServeCli, StdinTransportAnswersAndDrainsOnShutdown)
+{
+    std::istringstream in(runLine("s1") + "\n" +
+                          "{\"type\":\"stats\",\"id\":\"st\"}\n" +
+                          "{\"type\":\"shutdown\",\"id\":\"q\"}\n");
+    std::ostringstream out;
+    std::ostringstream err;
+    const char* argv[] = {"serve", "--workers", "1"};
+    const int rc = serveMain(3, argv, in, out, err);
+    EXPECT_EQ(rc, 0);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"type\":\"accepted\",\"id\":\"s1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"type\":\"result\",\"id\":\"s1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"type\":\"stats\",\"id\":\"st\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"type\":\"accepted\",\"id\":\"q\""),
+              std::string::npos);
+}
+
+TEST(ServeCli, UsageAndBadFlagsFailCleanly)
+{
+    std::istringstream in;
+    std::ostringstream out;
+    std::ostringstream err;
+    const char* help[] = {"serve", "--help"};
+    EXPECT_EQ(serveMain(2, help, in, out, err), 0);
+    EXPECT_NE(out.str().find("usage: dalorex serve"),
+              std::string::npos);
+
+    const char* bad[] = {"serve", "--bogus"};
+    EXPECT_EQ(serveMain(2, bad, in, out, err), 2);
+    EXPECT_NE(err.str().find("unknown option"), std::string::npos);
+}
+
+// --- subcommand table ------------------------------------------------
+
+TEST(SubcommandTable, HelpEnumeratesEverySubcommand)
+{
+    const std::string usage = cli::usageText();
+    for (const cli::Subcommand& sub : cli::subcommands()) {
+        EXPECT_NE(usage.find(std::string("dalorex ") + sub.name),
+                  std::string::npos)
+            << sub.name;
+        EXPECT_NE(usage.find(sub.summary), std::string::npos)
+            << sub.name;
+    }
+    // The historical gap this table closes: convert and serve are in.
+    EXPECT_NE(usage.find("dalorex convert"), std::string::npos);
+    EXPECT_NE(usage.find("dalorex serve"), std::string::npos);
+}
+
+// --- sweep cancellation (SIGINT machinery, signal-free) --------------
+
+TEST(SweepCancel, SetFlagSkipsRemainingRowsAsInterrupted)
+{
+    sweep::Plan plan;
+    plan.kernels = {kernelOrDie("bfs")};
+    plan.datasets = {{"", 6}};
+    plan.grids = {{2, 2}};
+    const sweep::ExpandResult expanded = sweep::expand(plan);
+    ASSERT_TRUE(expanded.ok) << expanded.error;
+
+    std::atomic<bool> cancel{true}; // already interrupted
+    const sweep::RunResult result =
+        sweep::run(expanded, 1, &cancel);
+    ASSERT_TRUE(result.ok);
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_FALSE(result.outcomes[0].ok);
+    EXPECT_EQ(result.outcomes[0].error, "interrupted");
+}
+
+// --- socket transport + sweep --via, end to end ----------------------
+
+int
+runSweep(const std::vector<std::string>& args, std::string& out)
+{
+    std::vector<const char*> argv = {"sweep"};
+    for (const std::string& arg : args)
+        argv.push_back(arg.c_str());
+    std::ostringstream outStream;
+    std::ostringstream errStream;
+    const int rc = sweep::sweepMain(static_cast<int>(argv.size()),
+                                    argv.data(), outStream,
+                                    errStream);
+    out = outStream.str();
+    return rc;
+}
+
+TEST(ServeSocket, SweepViaDaemonMatchesLocalSweepByteForByte)
+{
+    const std::string path = "serve_test_e2e.sock";
+    std::istringstream in;
+    std::ostringstream out;
+    std::ostringstream err;
+    std::thread daemon([&] {
+        const char* argv[] = {"serve", "--socket", path.c_str(),
+                              "--workers", "2"};
+        serveMain(5, argv, in, out, err);
+    });
+    // Wait for the daemon to listen (connectUnix succeeds).
+    int probe = -1;
+    std::string diag;
+    for (int i = 0; i < 500 && probe < 0; ++i) {
+        probe = connectUnix(path, diag);
+        if (probe < 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(probe, 0) << diag;
+
+    const std::vector<std::string> grid = {
+        "--kernel", "bfs,wcc", "--scale", "6", "--grid-size",
+        "2x2,4x4", "--threads", "1", "--json"};
+    std::string viaOut;
+    std::vector<std::string> viaArgs = grid;
+    viaArgs.insert(viaArgs.end(), {"--via", path});
+    EXPECT_EQ(runSweep(viaArgs, viaOut), 0);
+    std::string localOut;
+    EXPECT_EQ(runSweep(grid, localOut), 0);
+
+    // Row lines are byte-identical; only the trailing summary line
+    // may differ (its dataset-cache deltas depend on run order).
+    auto rows = [](const std::string& text) {
+        const std::size_t last =
+            text.rfind("{\"type\":\"summary\"");
+        return text.substr(0, last);
+    };
+    EXPECT_EQ(rows(viaOut), rows(localOut));
+    EXPECT_NE(viaOut.find("{\"type\":\"summary\""),
+              std::string::npos);
+
+    // Shut the daemon down over its own protocol.
+    ASSERT_TRUE(sendAll(probe,
+                        "{\"type\":\"shutdown\",\"id\":\"q\"}\n"));
+    LineReader reader(probe);
+    std::string line;
+    ASSERT_EQ(reader.readLine(line), ReadStatus::line);
+    EXPECT_NE(line.find("\"accepted\""), std::string::npos);
+    daemon.join();
+    ::close(probe);
+}
+
+} // namespace
+} // namespace serve
+} // namespace dalorex
