@@ -73,14 +73,14 @@ bool logQuiet();
 /** panic() if the given invariant does not hold. */
 #define panic_if(cond, ...)                                               \
     do {                                                                  \
-        if (cond)                                                         \
+        if ((cond))                                                       \
             panic(__VA_ARGS__);                                           \
     } while (0)
 
 /** fatal() if the given user-facing condition holds. */
 #define fatal_if(cond, ...)                                               \
     do {                                                                  \
-        if (cond)                                                         \
+        if ((cond))                                                       \
             fatal(__VA_ARGS__);                                           \
     } while (0)
 

@@ -294,33 +294,78 @@ parseAndValidate(const std::uint8_t* data, std::size_t size,
         static_cast<std::size_t>(prov_bytes));
 
     // Structural invariants: checksums prove the bytes match what the
-    // converter wrote; this proves what it wrote is a CSR.
-    const EdgeId* row_ptr =
-        reinterpret_cast<const EdgeId*>(row_ptr_bytes);
-    const VertexId* col_idx =
-        reinterpret_cast<const VertexId*>(col_idx_bytes);
+    // converter wrote; this proves what it wrote is a CSR. Elements
+    // are read with get32 (memcpy), not an array view: the image may
+    // sit at any alignment (see loadGraphFileBytes) and a misaligned
+    // u32 load would be UB even where the hardware tolerates it.
     const auto num_vertices =
         static_cast<VertexId>(header.numVertices);
     const auto num_edges = static_cast<EdgeId>(header.numEdges);
-    if (row_ptr[0] != 0 || row_ptr[num_vertices] != num_edges) {
+    const auto row_at = [row_ptr_bytes](VertexId v) {
+        return get32(row_ptr_bytes,
+                     static_cast<std::size_t>(v) * sizeof(EdgeId));
+    };
+    if (row_at(0) != 0 || row_at(num_vertices) != num_edges) {
         error = "corrupt CSR structure (rowPtr bounds): " + path;
         return false;
     }
     for (VertexId v = 0; v < num_vertices; ++v) {
-        if (row_ptr[v] > row_ptr[v + 1]) {
+        if (row_at(v) > row_at(v + 1)) {
             error = "corrupt CSR structure (rowPtr not monotone at "
                     "vertex " + std::to_string(v) + "): " + path;
             return false;
         }
     }
     for (EdgeId e = 0; e < num_edges; ++e) {
-        if (col_idx[e] >= num_vertices) {
+        const VertexId dest = get32(
+            col_idx_bytes,
+            static_cast<std::size_t>(e) * sizeof(VertexId));
+        if (dest >= num_vertices) {
             error = "corrupt CSR structure (colIdx out of range at "
                     "edge " + std::to_string(e) + "): " + path;
             return false;
         }
     }
     return true;
+}
+
+/** Validate `data` and build the result (alignment-agnostic). */
+GraphFileResult
+loadFromImage(const std::uint8_t* data, std::size_t size,
+              const std::string& label)
+{
+    GraphFileHeader header;
+    const std::uint8_t* row_ptr_bytes = nullptr;
+    const std::uint8_t* col_idx_bytes = nullptr;
+    const std::uint8_t* weight_bytes = nullptr;
+    std::string error;
+    if (!parseAndValidate(data, size, label, header, row_ptr_bytes,
+                          col_idx_bytes, weight_bytes, error))
+        return failLoad(error);
+
+    GraphFileResult result;
+    Dataset& ds = result.dataset;
+    ds.name = header.name;
+    ds.provenance = header.provenance;
+    Csr& g = ds.graph;
+    g.numVertices = static_cast<VertexId>(header.numVertices);
+    g.numEdges = static_cast<EdgeId>(header.numEdges);
+    // memcpy into sized vectors instead of assign() from typed
+    // pointers: the sections may be misaligned within `data`.
+    g.rowPtr.resize(static_cast<std::size_t>(g.numVertices) + 1);
+    std::memcpy(g.rowPtr.data(), row_ptr_bytes,
+                g.rowPtr.size() * sizeof(EdgeId));
+    g.colIdx.resize(g.numEdges);
+    std::memcpy(g.colIdx.data(), col_idx_bytes,
+                static_cast<std::size_t>(g.numEdges) *
+                    sizeof(VertexId));
+    if (header.weighted) {
+        g.weights.resize(g.numEdges);
+        std::memcpy(g.weights.data(), weight_bytes,
+                    static_cast<std::size_t>(g.numEdges) *
+                        sizeof(Word));
+    }
+    return result;
 }
 
 } // namespace
@@ -418,37 +463,16 @@ loadGraphFile(const std::string& path)
     std::string error;
     if (!view.open(path, error))
         return failLoad(error);
+    return loadFromImage(view.data(), view.size(), path);
+}
 
-    GraphFileHeader header;
-    const std::uint8_t* row_ptr_bytes = nullptr;
-    const std::uint8_t* col_idx_bytes = nullptr;
-    const std::uint8_t* weight_bytes = nullptr;
-    if (!parseAndValidate(view.data(), view.size(), path, header,
-                          row_ptr_bytes, col_idx_bytes, weight_bytes,
-                          error))
-        return failLoad(error);
-
-    GraphFileResult result;
-    Dataset& ds = result.dataset;
-    ds.name = header.name;
-    ds.provenance = header.provenance;
-    Csr& g = ds.graph;
-    g.numVertices = static_cast<VertexId>(header.numVertices);
-    g.numEdges = static_cast<EdgeId>(header.numEdges);
-    const auto* row_ptr =
-        reinterpret_cast<const EdgeId*>(row_ptr_bytes);
-    const auto* col_idx =
-        reinterpret_cast<const VertexId*>(col_idx_bytes);
-    g.rowPtr.assign(row_ptr,
-                    row_ptr + static_cast<std::size_t>(g.numVertices) +
-                        1);
-    g.colIdx.assign(col_idx, col_idx + g.numEdges);
-    if (header.weighted) {
-        const auto* weights =
-            reinterpret_cast<const Word*>(weight_bytes);
-        g.weights.assign(weights, weights + g.numEdges);
-    }
-    return result;
+GraphFileResult
+loadGraphFileBytes(const std::uint8_t* data, std::size_t size,
+                   const std::string& label)
+{
+    if (data == nullptr && size != 0)
+        return failLoad("null graph image: " + label);
+    return loadFromImage(data, size, label);
 }
 
 GraphFileInfoResult

@@ -94,6 +94,17 @@ bool saveGraphFile(const std::string& path, const Dataset& ds,
 GraphFileResult loadGraphFile(const std::string& path);
 
 /**
+ * Same validation and materialization over an in-memory image.
+ * `data` may have ANY alignment — every multi-byte field and section
+ * element is read with memcpy, so a view into the middle of a larger
+ * buffer (network payload, archive member) is safe under UBSan.
+ * `label` stands in for the path in diagnostics.
+ */
+GraphFileResult loadGraphFileBytes(const std::uint8_t* data,
+                                   std::size_t size,
+                                   const std::string& label);
+
+/**
  * Validate `path` exactly like loadGraphFile() — including full
  * section checksums — but only return the header.
  */

@@ -99,6 +99,7 @@ Network::setNumShards(unsigned shards)
 void
 Network::activateRouter(TileId router_id)
 {
+    DLX_OWN_WRITE(ownershipDomain(), router_id, "activateRouter");
     Shard& shard = shards_[routerShard_[router_id]];
     worklistAdd(shard.activeMask, router_id - shard.beginRouter);
 }
@@ -137,6 +138,7 @@ Network::tryInject(const Message& msg, TileId src, Cycle now,
     panic_if(msg.dest >= topo_.numTiles(), "inject to bad tile ",
              msg.dest);
 
+    DLX_OWN_WRITE(ownershipDomain(), src, "tryInject");
     Router& router = routers_[src];
     if (router.injectFreeAt > now)
         return InjectResult::portBusy;
@@ -240,6 +242,7 @@ Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
 void
 Network::computeRouter(TileId r, Cycle now, Shard& shard)
 {
+    DLX_OWN_WRITE(ownershipDomain(), r, "computeRouter");
     const unsigned channels = config_.numChannels;
     const unsigned pairs = numPorts * channels;
 
@@ -298,6 +301,8 @@ void
 Network::stepCompute(unsigned shard_index, Cycle now)
 {
     Shard& shard = shards_[shard_index];
+    DLX_OWN_SCOPE(ownershipDomain(), "noc-compute", shard.beginRouter,
+                  shard.endRouter);
 
     if (config_.scanMode == EngineScan::full) {
         // Reference oracle: visit every router, every cycle.

@@ -56,6 +56,7 @@
 
 #include "noc/message.hh"
 #include "noc/topology.hh"
+#include "sim/ownership.hh"
 
 namespace dalorex
 {
@@ -195,11 +196,34 @@ class Network
     void
     wakeRouter(TileId router)
     {
+        DLX_OWN_WRITE(ownershipDomain(), router, "wakeRouter");
         Router& r = routers_[router];
         r.blocked = 0;
         r.wakeAt = 0;
         r.waiters.fill(0);
     }
+
+#if DALOREX_OWNERSHIP_CHECKS
+    /**
+     * Share the engine's ownership domain (shard-ownership checker):
+     * router id == tile id and the Machine splits shards with the
+     * same formula, so one claim covers both the tile and NoC
+     * parallel phases. Defaults to the Network itself for
+     * stand-alone use (noc tests).
+     */
+    void
+    setOwnershipDomain(const void* domain)
+    {
+        ownershipDomain_ = domain;
+    }
+    const void* ownershipDomain() const
+    {
+        return ownershipDomain_ != nullptr ? ownershipDomain_ : this;
+    }
+#else
+    void setOwnershipDomain(const void*) {}
+    const void* ownershipDomain() const { return this; }
+#endif
 
     /**
      * True when a tryInject on this channel is known to fail because
@@ -402,6 +426,10 @@ class Network
     /** router -> owning shard (active-list insertion). */
     std::vector<std::uint32_t> routerShard_;
     std::atomic<std::uint64_t> inFlight_{0};
+#if DALOREX_OWNERSHIP_CHECKS
+    /** Shard-ownership checker domain (see setOwnershipDomain). */
+    const void* ownershipDomain_ = nullptr;
+#endif
 };
 
 } // namespace dalorex

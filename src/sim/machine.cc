@@ -6,6 +6,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "sim/ownership.hh"
 
 namespace dalorex
 {
@@ -63,6 +64,7 @@ TaskCtx::peek() const
 void
 TaskCtx::pop()
 {
+    DLX_OWN_WRITE(&machine_, tile_.id, "TaskCtx::pop");
     tile_.iqs[task_].pop();
     --tile_.pendingIqEntries;
     --shard_.pendingIqDelta;
@@ -103,6 +105,7 @@ TaskCtx::send(ChannelId channel, Word index,
     for (Word word : rest)
         msg.words[w++] = word;
 
+    DLX_OWN_WRITE(&machine_, tile_.id, "TaskCtx::send");
     tile_.cqs[channel].push(msg);
     ++tile_.pendingCqEntries;
     ++shard_.pendingCqDelta;
@@ -123,6 +126,7 @@ TaskCtx::enqueueLocal(TaskId task, std::initializer_list<Word> words)
     WordQueue& iq = tile_.iqs[task];
     panic_if(words.size() != iq.entryWords(),
              "enqueueLocal entry width mismatch on task ", int(task));
+    DLX_OWN_WRITE(&machine_, tile_.id, "TaskCtx::enqueueLocal");
     Word buf[maxMsgWords];
     unsigned w = 0;
     for (Word word : words)
@@ -302,9 +306,31 @@ Machine::activateTile(TileId t)
 {
     if (shards_.empty())
         return; // pre-run call; the initial sweep in run() covers it
+    DLX_OWN_WRITE(this, t, "activateTile");
     ShardCtx& shard = shards_[tileShard_[t]];
     worklistAdd(shard.activeMask, t - shard.beginTile);
 }
+
+#if DALOREX_OWNERSHIP_CHECKS
+void
+Machine::debugInjectOwnershipViolation()
+{
+    // Test-only hook proving the checker fires: claim the first
+    // shard's tile range as if this thread were its parallel worker,
+    // then touch the last shard's worklist — exactly the cross-shard
+    // write the two-phase contract forbids. Needs >= 2 shards so the
+    // last tile is foreign to shard 0.
+    if (shards_.empty())
+        buildShards(2);
+    panic_if(shards_.size() < 2 || tiles_.empty(),
+             "debugInjectOwnershipViolation needs a multi-shard "
+             "machine (>= 2 tiles)");
+    const ShardCtx& first = shards_.front();
+    ownership::ScopedShardClaim claim(this, "injected-violation",
+                                      first.beginTile, first.endTile);
+    activateTile(static_cast<TileId>(tiles_.size() - 1));
+}
+#endif
 
 void
 Machine::seed(TileId tile_id, TaskId task, std::initializer_list<Word> words)
@@ -351,6 +377,7 @@ Machine::deliver(const Message& msg)
     WordQueue& iq = tile.iqs[def.targetTask];
     if (iq.full())
         return false; // endpoint backpressure
+    DLX_OWN_WRITE(this, msg.dest, "deliver");
     iq.push(msg.words.data());
     ++tile.pendingIqEntries;
     // Deliveries happen at the destination's own router, so the
@@ -484,6 +511,7 @@ Machine::stepPu(Tile& tile, Cycle now, ShardCtx& shard)
 void
 Machine::stepTile(Tile& tile, Cycle now, ShardCtx& shard)
 {
+    DLX_OWN_WRITE(this, tile.id, "stepTile");
     if (!tile.quiet(now)) {
         injectFromCqs(tile, now, shard);
         stepPu(tile, now, shard);
@@ -509,6 +537,7 @@ void
 Machine::tilePhase(unsigned shard_index, Cycle now)
 {
     ShardCtx& shard = shards_[shard_index];
+    DLX_OWN_SCOPE(this, "tile-phase", shard.beginTile, shard.endTile);
     shard.maxBusyUntil = 0;
     shard.nextEvent = neverCycle;
 
@@ -570,6 +599,10 @@ Machine::run(App& app)
                 ~(std::uint8_t(1) << channel);
         });
     network_->setNumShards(num_shards);
+    // Router id == tile id and both layers use the identical shard
+    // split, so tile-phase and NoC-phase writes share one ownership
+    // domain: this Machine.
+    network_->setOwnershipDomain(this);
 
     app.start(*this);
 

@@ -368,6 +368,15 @@ class Machine
     /** Execute the app to completion; callable once per Machine. */
     RunStats run(App& app);
 
+#if DALOREX_OWNERSHIP_CHECKS
+    /**
+     * Test-only: perform a deliberate cross-shard write under a
+     * parallel-phase claim so ownership_test can prove the checker
+     * fires (panics). Never reached by real execution paths.
+     */
+    void debugInjectOwnershipViolation();
+#endif
+
     // --- accessors ---------------------------------------------------
     const MachineConfig& config() const { return config_; }
     const Partition& partition() const { return partition_; }

@@ -1,0 +1,101 @@
+#include "sim/ownership.hh"
+
+#if DALOREX_OWNERSHIP_CHECKS
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dalorex
+{
+namespace ownership
+{
+namespace
+{
+
+/** One live claim of the calling thread. */
+struct Claim
+{
+    const void* domain;
+    const char* phase;
+    std::uint32_t begin;
+    std::uint32_t end;
+};
+
+/** Claims held by this thread, innermost last (depth is ~1). */
+thread_local std::vector<Claim> tClaims;
+
+/**
+ * Domains with at least one live claim on any thread. A write from a
+ * thread with no claim is only a violation while the domain is in a
+ * parallel phase — i.e. while this count is non-zero — so serial
+ * sections (commit, setup, teardown) need no claims at all.
+ */
+std::mutex gMutex;
+std::map<const void*, std::uint32_t> gActive;
+
+const Claim*
+findClaim(const void* domain)
+{
+    for (auto it = tClaims.rbegin(); it != tClaims.rend(); ++it)
+        if (it->domain == domain)
+            return &*it;
+    return nullptr;
+}
+
+} // namespace
+
+ScopedShardClaim::ScopedShardClaim(const void* domain,
+                                   const char* phase,
+                                   std::uint32_t begin,
+                                   std::uint32_t end)
+{
+    tClaims.push_back(Claim{domain, phase, begin, end});
+    std::lock_guard<std::mutex> lock(gMutex);
+    ++gActive[domain];
+}
+
+ScopedShardClaim::~ScopedShardClaim()
+{
+    const Claim claim = tClaims.back();
+    tClaims.pop_back();
+    std::lock_guard<std::mutex> lock(gMutex);
+    auto it = gActive.find(claim.domain);
+    if (it != gActive.end() && --it->second == 0)
+        gActive.erase(it);
+}
+
+bool
+phaseActive(const void* domain)
+{
+    std::lock_guard<std::mutex> lock(gMutex);
+    return gActive.find(domain) != gActive.end();
+}
+
+void
+checkWrite(const void* domain, std::uint32_t index, const char* what)
+{
+    if (const Claim* claim = findClaim(domain)) {
+        if (index < claim->begin || index >= claim->end)
+            panic("shard-ownership violation: ", what, " wrote index ",
+                  index, " during parallel phase '", claim->phase,
+                  "' but the executing worker owns only [",
+                  claim->begin, ", ", claim->end,
+                  ") — cross-shard effects must be staged and "
+                  "committed serially");
+        return;
+    }
+    if (phaseActive(domain))
+        panic("shard-ownership violation: ", what, " wrote index ",
+              index, " from a thread holding no shard claim while a "
+              "parallel phase is active — only claimed workers may "
+              "touch shared engine state mid-phase");
+}
+
+} // namespace ownership
+} // namespace dalorex
+
+#endif // DALOREX_OWNERSHIP_CHECKS

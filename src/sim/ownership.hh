@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shard-ownership checker: debug-build instrumentation proving the
+ * engine's isolation invariant at runtime.
+ *
+ * The whole determinism story of the sharded engine (byte-identical
+ * RunStats at any --engine-threads) rests on one rule: during a
+ * parallel phase, a worker writes only state owned by its shard —
+ * its contiguous tile/router index range — and every cross-shard
+ * effect is staged per shard and committed serially. This file makes
+ * that rule checkable: the engine claims its shard's index range on
+ * entry to each parallel phase (RAII), and every mutation point calls
+ * a check hook that panics if the written index falls outside the
+ * claiming thread's range, or if a thread with no claim writes at all
+ * while a parallel phase is running somewhere in the same domain.
+ *
+ * A *domain* is one index space; the engine uses the owning Machine
+ * as the domain for both tile and router writes (tile id == router
+ * id, and the Machine and its Network split shards with the same
+ * formula, so one claim covers both phases).
+ *
+ * Cost model: the checker exists only when DALOREX_OWNERSHIP_CHECKS
+ * is 1 (CMake option, default ON in Debug and OFF otherwise). When
+ * disabled, every hook macro expands to `((void)0)` and ownership.cc
+ * compiles to an empty TU, so Release hot paths carry zero extra
+ * instructions and zero extra symbols. The disabled expansion is a
+ * noexcept constant expression, which ownership_test exploits as a
+ * compile-time guard that no checker call survives into such builds.
+ */
+
+#ifndef DALOREX_SIM_OWNERSHIP_HH
+#define DALOREX_SIM_OWNERSHIP_HH
+
+#include <cstdint>
+
+#if !defined(DALOREX_OWNERSHIP_CHECKS)
+#define DALOREX_OWNERSHIP_CHECKS 0
+#endif
+
+namespace dalorex
+{
+namespace ownership
+{
+
+/** True in builds that carry the checker (compile-time constant). */
+constexpr bool enabled = DALOREX_OWNERSHIP_CHECKS != 0;
+
+#if DALOREX_OWNERSHIP_CHECKS
+
+/**
+ * Claim [begin, end) of `domain`'s index space for the calling
+ * thread for the lifetime of the scope. Claims nest (a thread may
+ * re-claim the same domain, e.g. a test driving engine internals),
+ * and the per-domain active-phase count lets writes from unclaimed
+ * threads be detected as long as any claim is live.
+ */
+class ScopedShardClaim
+{
+  public:
+    ScopedShardClaim(const void* domain, const char* phase,
+                     std::uint32_t begin, std::uint32_t end);
+    ~ScopedShardClaim();
+
+    ScopedShardClaim(const ScopedShardClaim&) = delete;
+    ScopedShardClaim& operator=(const ScopedShardClaim&) = delete;
+};
+
+/**
+ * Assert that the calling thread may write index `index` of
+ * `domain`: either the thread holds a claim on the domain covering
+ * the index, or no parallel phase is active on the domain at all
+ * (serial sections need no claim). Panics with `what`, the index and
+ * the offending claim on violation.
+ */
+void checkWrite(const void* domain, std::uint32_t index,
+                const char* what);
+
+/** True while any thread holds a claim on `domain` (test hook). */
+bool phaseActive(const void* domain);
+
+#define DLX_OWN_SCOPE(domain, phase, begin, end)                          \
+    ::dalorex::ownership::ScopedShardClaim dlx_own_scope_               \
+    {                                                                     \
+        (domain), (phase), (begin), (end)                                 \
+    }
+#define DLX_OWN_WRITE(domain, index, what)                                \
+    ::dalorex::ownership::checkWrite((domain), (index), (what))
+
+#else
+
+// Disabled build: the hooks must vanish entirely. Both expansions are
+// noexcept constant no-ops; ownership_test static_asserts on exactly
+// that property to prove no checker code can hide in the hot path.
+#define DLX_OWN_SCOPE(domain, phase, begin, end) ((void)0)
+#define DLX_OWN_WRITE(domain, index, what) ((void)0)
+
+#endif // DALOREX_OWNERSHIP_CHECKS
+
+} // namespace ownership
+} // namespace dalorex
+
+#endif // DALOREX_SIM_OWNERSHIP_HH

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/ and tools/ (profile: .clang-tidy).
+#
+# usage: tools/lint.sh [-B BUILD_DIR] [--no-cache] [FILE...]
+#
+#   -B BUILD_DIR  build tree with compile_commands.json (default:
+#                 build; configured on demand when missing)
+#   --no-cache    re-lint every file even if unchanged
+#   FILE...       lint only these files (default: every .cc under
+#                 src/ and tools/)
+#
+# Exit code: 0 when clean or when clang-tidy is unavailable (the gate
+# degrades to a skip on boxes without LLVM — CI installs it); 1 when
+# any gated finding (WarningsAsErrors in .clang-tidy) fires.
+#
+# Results are cached under BUILD_DIR/lint-cache: a file is re-linted
+# only when the SHA-256 of its content, the .clang-tidy profile or
+# the clang-tidy version changes. Headers are covered through the
+# TUs that include them (HeaderFilterRegex), so a header edit
+# invalidates every dependent TU via the preprocessed-hash fallback:
+# we hash the TU *and* its local includes.
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+USE_CACHE=1
+FILES=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -B) BUILD_DIR=$2; shift 2 ;;
+        --no-cache) USE_CACHE=0; shift ;;
+        -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+        *) FILES+=("$1"); shift ;;
+    esac
+done
+
+CLANG_TIDY=${CLANG_TIDY:-}
+if [ -z "$CLANG_TIDY" ]; then
+    for candidate in clang-tidy clang-tidy-19 clang-tidy-18 \
+                     clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+        if command -v "$candidate" > /dev/null 2>&1; then
+            CLANG_TIDY=$candidate
+            break
+        fi
+    done
+fi
+if [ -z "$CLANG_TIDY" ]; then
+    echo "lint: clang-tidy not found (set CLANG_TIDY=...); skipping" >&2
+    exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint: configuring $BUILD_DIR for compile_commands.json" >&2
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null || exit 1
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+    while IFS= read -r f; do
+        FILES+=("$f")
+    done < <(find src tools -name '*.cc' | sort)
+fi
+
+CACHE_DIR=$BUILD_DIR/lint-cache
+mkdir -p "$CACHE_DIR"
+# Any profile or tool change invalidates the whole cache.
+PROFILE_HASH=$({ "$CLANG_TIDY" --version; cat .clang-tidy; } \
+    | sha256sum | cut -d' ' -f1)
+
+# Hash a TU plus the in-repo headers it includes, so header edits
+# re-lint their dependents without a full dependency scanner.
+tu_hash() {
+    {
+        cat "$1"
+        grep -oE '#include "[^"]+"' "$1" 2> /dev/null \
+            | sed 's/#include "//; s/"$//' \
+            | while IFS= read -r inc; do
+                for dir in src tools bench; do
+                    [ -f "$dir/$inc" ] && cat "$dir/$inc"
+                done
+            done
+        echo "$PROFILE_HASH"
+    } | sha256sum | cut -d' ' -f1
+}
+
+status=0
+linted=0
+skipped=0
+for f in "${FILES[@]}"; do
+    stamp=$CACHE_DIR/$(echo "$f" | tr '/' '_').ok
+    hash=$(tu_hash "$f")
+    if [ "$USE_CACHE" = 1 ] && [ -f "$stamp" ] &&
+       [ "$(cat "$stamp")" = "$hash" ]; then
+        skipped=$((skipped + 1))
+        continue
+    fi
+    linted=$((linted + 1))
+    if "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+        echo "$hash" > "$stamp"
+    else
+        rm -f "$stamp"
+        status=1
+    fi
+done
+
+echo "lint: $linted linted, $skipped cached-clean" \
+     "($CLANG_TIDY, profile $PROFILE_HASH)" >&2
+exit $status
