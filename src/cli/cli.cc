@@ -116,6 +116,19 @@ parseEngineScan(const std::string& text, EngineScan& out)
 }
 
 bool
+parseEngineBarrier(const std::string& text, EngineBarrier& out)
+{
+    const std::string b = toLower(text);
+    if (b == "tree")
+        out = EngineBarrier::tree;
+    else if (b == "central")
+        out = EngineBarrier::central;
+    else
+        return false;
+    return true;
+}
+
+bool
 parseDistribution(const std::string& text, Distribution& out)
 {
     const std::string d = toLower(text);
@@ -141,8 +154,8 @@ parseArgs(int argc, const char* const* argv)
             "--topology",     "--ruche-factor", "--policy",
             "--distribution", "--scale",        "--dataset",
             "--seed",         "--invoke-overhead", "--max-cycles",
-            "--engine-threads", "--engine-scan", "--param",
-            "--pagerank-iters",
+            "--engine-threads", "--engine-scan", "--engine-barrier",
+            "--param",          "--pagerank-iters",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -211,6 +224,12 @@ parseArgs(int argc, const char* const* argv)
             if (!parseEngineScan(value, o.machine.engineScan))
                 return fail("--engine-scan must be full|active, got " +
                             value);
+        } else if (flag == "--engine-barrier") {
+            if (!parseEngineBarrier(value, o.machine.engineBarrier))
+                return fail("--engine-barrier must be tree|central, "
+                            "got " + value);
+        } else if (flag == "--engine-rebalance") {
+            o.machine.engineRebalance = true;
         } else if (flag == "--param") {
             std::string err;
             if (!parseParamOverrides(value, o.params, err))
@@ -258,6 +277,23 @@ parseArgs(int argc, const char* const* argv)
         o.machine.rucheFactor = 2;
     if (o.machine.topology != NocTopology::torusRuche)
         o.machine.rucheFactor = 0;
+
+    // The engine shards one contiguous tile range per worker, so
+    // threads beyond the tile count could never receive a shard.
+    // Clamp here — where width/height are known regardless of flag
+    // order — so the rendered engine_threads matches what actually
+    // runs, with a one-line note instead of silently wasted workers.
+    const std::uint32_t tiles = o.machine.numTiles();
+    if (o.machine.engineThreads > tiles) {
+        result.note = "--engine-threads " +
+                      std::to_string(o.machine.engineThreads) +
+                      " exceeds the " +
+                      std::to_string(o.machine.width) + "x" +
+                      std::to_string(o.machine.height) + " grid's " +
+                      std::to_string(tiles) + " shards; using " +
+                      std::to_string(tiles);
+        o.machine.engineThreads = tiles;
+    }
     return result;
 }
 
@@ -324,8 +360,17 @@ usageText()
         "\n"
         "execution (simulator only; never changes results):\n"
         "  --engine-threads N   engine worker threads [1, 256]\n"
-        "                       (default 1; stats are byte-identical\n"
-        "                       for every N)\n"
+        "                       (default 1; clamped to the tile\n"
+        "                       count; stats are byte-identical for\n"
+        "                       every N)\n"
+        "  --engine-barrier B   tree|central (default tree): the\n"
+        "                       cycle loop's worker barrier — the\n"
+        "                       MCS-style sense-reversing tree or the\n"
+        "                       centralized std::barrier reference;\n"
+        "                       stats are byte-identical for both\n"
+        "  --engine-rebalance   re-split the shard tile ranges when\n"
+        "                       the active set concentrates (off by\n"
+        "                       default; stats stay byte-identical)\n"
         "  --engine-scan M      full|active (default active): step\n"
         "                       only the active tile/router worklists\n"
         "                       or keep the exhaustive per-cycle scan\n"
@@ -539,7 +584,11 @@ renderJson(const Report& report)
         << "\"engine_threads\":"
         << std::max(1u, o.machine.engineThreads) << ","
         << "\"engine_scan\":\"" << toString(o.machine.engineScan)
-        << "\"},";
+        << "\","
+        << "\"engine_barrier\":\""
+        << toString(o.machine.engineBarrier) << "\","
+        << "\"engine_rebalance\":"
+        << (o.machine.engineRebalance ? "true" : "false") << "},";
     out << "\"stats\":{"
         << "\"cycles\":" << s.cycles << ","
         << "\"epochs\":" << s.epochs << ","
@@ -576,6 +625,7 @@ renderJson(const Report& report)
         << ","
         << "\"active_router_cycles_saved\":"
         << s.activeRouterCyclesSaved << ","
+        << "\"rebalances\":" << s.engineRebalances << ","
         << "\"tile_scan_occupancy\":"
         << Table::num(s.tileScanOccupancy()) << ","
         << "\"router_scan_occupancy\":"
@@ -652,6 +702,8 @@ cliMain(int argc, const char* const* argv, std::ostream& out,
         err << "dalorex: " << parsed.error << "\n";
         return 2;
     }
+    if (!parsed.note.empty())
+        err << "dalorex: " << parsed.note << "\n";
     if (parsed.options.help) {
         out << usageText();
         return 0;

@@ -80,6 +80,101 @@ WorkerCrew::runPhase(const std::function<void(unsigned)>& fn)
     phase_ = nullptr;
 }
 
+TreeBarrier::TreeBarrier(unsigned members)
+    : members_(std::max(1u, members)), nodes_(members_)
+{
+}
+
+void
+TreeBarrier::waitFor(std::atomic<std::uint64_t>& flag,
+                     std::uint64_t epoch)
+{
+    // Short spin first: barrier partners in a cycle loop usually
+    // arrive within a handful of loads, and the spin touches only the
+    // waited-on node's cache line.
+    for (int spin = 0; spin < 256; ++spin) {
+        if (flag.load(std::memory_order_acquire) >= epoch)
+            return;
+    }
+    std::uint64_t seen = flag.load(std::memory_order_acquire);
+    while (seen < epoch) {
+        flag.wait(seen, std::memory_order_acquire);
+        seen = flag.load(std::memory_order_acquire);
+    }
+}
+
+void
+TreeBarrier::sync(unsigned member, const SerialFn* serial)
+{
+    Node& me = nodes_[member];
+    const std::uint64_t epoch = ++me.epoch;
+    if (members_ == 1) {
+        if (serial != nullptr && *serial)
+            (*serial)();
+        return;
+    }
+
+    // Gather: wait until every arrival-tree child's subtree reached
+    // this epoch, then report our own subtree upward. The acquire
+    // chain makes every descendant's pre-sync writes visible here.
+    const unsigned first_child = member * arriveArity + 1;
+    for (unsigned c = first_child;
+         c < first_child + arriveArity && c < members_; ++c)
+        waitFor(nodes_[c].arrived, epoch);
+    if (member != 0) {
+        me.arrived.store(epoch, std::memory_order_release);
+        me.arrived.notify_one();
+        waitFor(me.released, epoch);
+    } else if (serial != nullptr && *serial) {
+        // The root has seen every arrival: the whole crew is inside
+        // the barrier and the serial section owns the world.
+        (*serial)();
+    }
+
+    // Scatter: release our wakeup-tree children; each forwards the
+    // epoch downward, forming a release chain that publishes the
+    // serial section's writes to every member.
+    const unsigned first_wake = member * wakeArity + 1;
+    for (unsigned c = first_wake;
+         c < first_wake + wakeArity && c < members_; ++c) {
+        nodes_[c].released.store(epoch, std::memory_order_release);
+        nodes_[c].released.notify_one();
+    }
+}
+
+void
+CentralBarrier::Completion::operator()() noexcept
+{
+    const SerialFn* fn = self->serial_;
+    self->serial_ = nullptr;
+    if (fn != nullptr && *fn)
+        (*fn)();
+}
+
+CentralBarrier::CentralBarrier(unsigned members)
+    : barrier_(static_cast<std::ptrdiff_t>(std::max(1u, members)),
+               Completion{this})
+{
+}
+
+void
+CentralBarrier::sync(unsigned member, const SerialFn* serial)
+{
+    // Member 0 stores before arriving; the completion step follows
+    // every arrival, so the store is visible there.
+    if (member == 0)
+        serial_ = serial;
+    barrier_.arrive_and_wait();
+}
+
+std::unique_ptr<PhaseBarrier>
+makePhaseBarrier(EngineBarrier kind, unsigned members)
+{
+    if (kind == EngineBarrier::central)
+        return std::make_unique<CentralBarrier>(members);
+    return std::make_unique<TreeBarrier>(members);
+}
+
 void
 WorkerCrew::workerLoop(unsigned member)
 {

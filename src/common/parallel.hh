@@ -14,11 +14,15 @@
 #define DALOREX_COMMON_PARALLEL_HH
 
 #include <atomic>
+#include <barrier>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "common/types.hh"
 
 namespace dalorex
 {
@@ -75,6 +79,106 @@ class WorkerCrew
     std::atomic<unsigned> remaining_{0};
     std::atomic<bool> stop_{false};
 };
+
+/**
+ * A reusable rendezvous for a fixed crew of members running the same
+ * phase sequence in lockstep (the cycle engine's SPMD loop).
+ *
+ * sync(member) blocks until every member has arrived, then releases
+ * them all; sync(member, serial) additionally runs `*serial` exactly
+ * once between the last arrival and the first release — the engine's
+ * per-cycle serial section (delta merge, idle/termination decision)
+ * rides inside the barrier instead of costing a second rendezvous.
+ *
+ * Contract: all members pass the same `serial` pointer at a given
+ * sync point (the call sites are lockstep by construction). Memory
+ * ordering is full-barrier semantics: every member's pre-sync writes
+ * happen-before the serial function, whose writes happen-before every
+ * member's return.
+ */
+class PhaseBarrier
+{
+  public:
+    using SerialFn = std::function<void()>;
+
+    virtual ~PhaseBarrier() = default;
+
+    /** Arrive and wait; the completing member runs `*serial` (when
+     *  non-null and non-empty) before anyone is released. */
+    virtual void sync(unsigned member, const SerialFn* serial) = 0;
+
+    void sync(unsigned member) { sync(member, nullptr); }
+};
+
+/**
+ * MCS-style sense-reversing tree barrier: members gather up a 4-ary
+ * arrival tree and are released down a binary wakeup tree, every
+ * member spinning only on its own cache-line-aligned node (then
+ * parking on a C++20 atomic wait). The serial section runs on the
+ * root — member 0, the engine's calling thread — so per-cycle serial
+ * work stays on one deterministic thread. Epoch counters replace
+ * boolean sense flags: a monotonically increasing generation needs no
+ * reset phase and cannot alias across back-to-back syncs.
+ */
+class TreeBarrier final : public PhaseBarrier
+{
+  public:
+    explicit TreeBarrier(unsigned members);
+
+    void sync(unsigned member, const SerialFn* serial) override;
+
+    static constexpr unsigned arriveArity = 4;
+    static constexpr unsigned wakeArity = 2;
+
+  private:
+    /** One member's flags, alone on their cache line so arrival and
+     *  release traffic never false-shares between members. */
+    struct alignas(64) Node
+    {
+        std::atomic<std::uint64_t> arrived{0};
+        std::atomic<std::uint64_t> released{0};
+        /** Member-local sync generation (only its owner touches it). */
+        std::uint64_t epoch = 0;
+    };
+
+    /** Spin briefly on `flag >= epoch`, then park on an atomic wait. */
+    static void waitFor(std::atomic<std::uint64_t>& flag,
+                        std::uint64_t epoch);
+
+    unsigned members_;
+    std::vector<Node> nodes_;
+};
+
+/**
+ * Centralized reference barrier on std::barrier. Exists as the
+ * byte-identical baseline the tree barrier is benchmarked and
+ * determinism-tested against; the serial section runs as the
+ * std::barrier completion step (on an unspecified member's thread).
+ */
+class CentralBarrier final : public PhaseBarrier
+{
+  public:
+    explicit CentralBarrier(unsigned members);
+
+    void sync(unsigned member, const SerialFn* serial) override;
+
+  private:
+    struct Completion
+    {
+        CentralBarrier* self;
+        void operator()() noexcept;
+    };
+
+    /** The current sync point's serial section; member 0 stores it
+     *  before arriving, so its write happens-before the completion
+     *  step (which follows every arrival). */
+    const SerialFn* serial_ = nullptr;
+    std::barrier<Completion> barrier_;
+};
+
+/** Build the configured barrier flavor for `members` members. */
+std::unique_ptr<PhaseBarrier> makePhaseBarrier(EngineBarrier kind,
+                                               unsigned members);
 
 } // namespace dalorex
 

@@ -60,6 +60,26 @@ toString(EngineScan scan)
     return scan == EngineScan::full ? "full" : "active";
 }
 
+/**
+ * Cycle-loop barrier implementation — a pure simulator execution knob
+ * (never changes results). `tree` is the cache-friendly MCS-style
+ * sense-reversing tree barrier (arrival fan-in + wakeup fan-out over
+ * per-member cache lines); `central` keeps the centralized
+ * std::barrier as a byte-identical reference. Stats and energy are
+ * identical for both; only the engine's wall clock differs.
+ */
+enum class EngineBarrier : std::uint8_t
+{
+    tree,
+    central,
+};
+
+constexpr const char*
+toString(EngineBarrier barrier)
+{
+    return barrier == EngineBarrier::tree ? "tree" : "central";
+}
+
 /** Sentinel for "no tile". */
 constexpr TileId invalidTile = ~TileId(0);
 

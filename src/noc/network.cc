@@ -87,9 +87,34 @@ Network::setNumShards(unsigned shards)
         shards_[s].activeMask.assign(
             (shards_[s].endRouter - shards_[s].beginRouter + 63) / 64,
             0);
+        shards_[s].pushesTo.resize(n);
+        shards_[s].wakesTo.resize(n);
     }
     // Resharding discards the previous worklists; rebuild membership
     // from the occupancy ground truth.
+    for (TileId r = 0; r < routers_.size(); ++r) {
+        if (routers_[r].occupancy != 0)
+            activateRouter(r);
+    }
+}
+
+void
+Network::reshard(const std::vector<TileId>& bounds)
+{
+    panic_if(bounds.size() != shards_.size() + 1,
+             "reshard must keep the shard count (got ",
+             bounds.size() - 1, " ranges for ", shards_.size(),
+             " shards)");
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        Shard& shard = shards_[s];
+        panic_if(!shard.pops.empty(), "reshard with staged effects");
+        shard.beginRouter = bounds[s];
+        shard.endRouter = bounds[s + 1];
+        for (TileId r = shard.beginRouter; r < shard.endRouter; ++r)
+            routerShard_[r] = s;
+        shard.activeMask.assign(
+            (shard.endRouter - shard.beginRouter + 63) / 64, 0);
+    }
     for (TileId r = 0; r < routers_.size(); ++r) {
         if (routers_[r].occupancy != 0)
             activateRouter(r);
@@ -163,6 +188,25 @@ Network::tryInject(const Message& msg, TileId src, Cycle now,
     return InjectResult::ok;
 }
 
+void
+Network::stagePop(TileId router_id, Port in_port, ChannelId channel,
+                  Shard& shard)
+{
+    shard.pops.push_back({router_id, in_port, channel});
+    if (in_port == portLocal)
+        return;
+    // The pop frees a slot the upstream feeder may be sleeping on:
+    // stage the wake with the upstream router precomputed, bucketed
+    // by *its* shard (the wake mutates that router). Whether anyone
+    // is actually waiting is checked at apply time, like the old
+    // serial commit did.
+    const TileId up_id = routers_[router_id].neighborId[in_port];
+    const auto slot = static_cast<std::uint16_t>(
+        Topology::oppositePort(in_port) * config_.numChannels +
+        channel);
+    shard.wakesTo[routerShard_[up_id]].push_back({up_id, slot});
+}
+
 bool
 Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
                  Cycle now, Shard& shard, Cycle& retryAt)
@@ -205,7 +249,7 @@ Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
         ++shard.stats.messagesDelivered;
         inFlight_.fetch_sub(1, std::memory_order_relaxed);
         markActive(router_id, now, len);
-        shard.pops.push_back({router_id, in_port, channel});
+        stagePop(router_id, in_port, channel, shard);
         return true;
     }
 
@@ -228,14 +272,14 @@ Network::tryMove(TileId router_id, Port in_port, ChannelId channel,
 
     StagedPush forwarded{next_id, next_in, {msg, now, portLocal, 1}};
     routeInto(next_id, next_in, forwarded.entry);
-    shard.pushes.push_back(forwarded);
+    shard.pushesTo[routerShard_[next_id]].push_back(forwarded);
     router.linkFreeAt[out_port] = now + len;
     shard.stats.flitHops += len;
     shard.stats.flitWireTiles +=
         std::uint64_t(len) * topo_.hopWireTiles(out_port);
     shard.stats.routerPassages += len;
     markActive(router_id, now, len);
-    shard.pops.push_back({router_id, in_port, channel});
+    stagePop(router_id, in_port, channel, shard);
     return true;
 }
 
@@ -331,48 +375,63 @@ Network::stepCompute(unsigned shard_index, Cycle now)
 }
 
 void
-Network::stepCommit(Cycle)
+Network::commitShard(unsigned shard_index, Cycle)
 {
     const unsigned channels = config_.numChannels;
-    for (Shard& shard : shards_) {
-        for (const StagedPop& pop : shard.pops) {
-            Router& router = routers_[pop.router];
-            Fifo& fifo = router.buffers[pop.inPort][pop.channel];
-            fifo.pop();
-            if (fifo.empty()) {
-                router.occupancy &=
-                    ~(std::uint64_t(1)
-                      << (pop.inPort * channels + pop.channel));
-            }
-            // The pop freed a slot: wake whoever feeds this buffer —
-            // the upstream router, or the tile's own injection port.
-            // The wake targets only the pairs recorded as waiting on
-            // this buffer; everyone else stays asleep.
-            if (pop.inPort != portLocal) {
-                Router& up = routers_[router.neighborId[pop.inPort]];
-                const unsigned slot =
-                    Topology::oppositePort(pop.inPort) * channels +
-                    pop.channel;
-                if (up.waiters[slot] != 0) {
-                    up.blocked &= ~up.waiters[slot];
-                    up.waiters[slot] = 0;
-                    up.wakeAt = 0;
-                    // A blocked head implies occupancy, so the
-                    // upstream router is already listed; this re-add
-                    // is a defensive no-op that keeps the invariant
-                    // local to the wake.
-                    activateRouter(router.neighborId[pop.inPort]);
-                }
-            } else if (router.injectBlocked &
-                       (std::uint8_t(1) << pop.channel)) {
-                router.injectBlocked &=
-                    ~(std::uint8_t(1) << pop.channel);
-                if (onInjectSpace_)
-                    onInjectSpace_(pop.router, pop.channel);
+    Shard& mine = shards_[shard_index];
+    DLX_OWN_SCOPE(ownershipDomain(), "noc-commit", mine.beginRouter,
+                  mine.endRouter);
+
+    // Own pops first: a pop's target is always the router that was
+    // scanned, i.e. one of this shard's own.
+    for (const StagedPop& pop : mine.pops) {
+        DLX_OWN_WRITE(ownershipDomain(), pop.router, "commitPop");
+        Router& router = routers_[pop.router];
+        Fifo& fifo = router.buffers[pop.inPort][pop.channel];
+        fifo.pop();
+        if (fifo.empty()) {
+            router.occupancy &=
+                ~(std::uint64_t(1)
+                  << (pop.inPort * channels + pop.channel));
+        }
+        // A pop on the local input buffer frees injection space: let
+        // the engine retry the tile's stalled channels (the upstream
+        // wake of a non-local pop was staged into wakesTo of the
+        // upstream router's shard at pop time).
+        if (pop.inPort == portLocal &&
+            (router.injectBlocked &
+             (std::uint8_t(1) << pop.channel)) != 0) {
+            router.injectBlocked &= ~(std::uint8_t(1) << pop.channel);
+            if (onInjectSpace_)
+                onInjectSpace_(pop.router, pop.channel);
+        }
+    }
+    mine.pops.clear();
+
+    // Then every source shard's staged effects landing in this
+    // shard's range, in (source shard, staging sequence) order. The
+    // wake targets only the pairs recorded as waiting on the popped
+    // buffer; everyone else stays asleep.
+    for (Shard& from : shards_) {
+        for (const StagedWake& wake : from.wakesTo[shard_index]) {
+            DLX_OWN_WRITE(ownershipDomain(), wake.router,
+                          "commitWake");
+            Router& up = routers_[wake.router];
+            if (up.waiters[wake.slot] != 0) {
+                up.blocked &= ~up.waiters[wake.slot];
+                up.waiters[wake.slot] = 0;
+                up.wakeAt = 0;
+                // A blocked head implies occupancy, so the upstream
+                // router is already listed; this re-add is a
+                // defensive no-op that keeps the invariant local to
+                // the wake.
+                activateRouter(wake.router);
             }
         }
-        shard.pops.clear();
-        for (const StagedPush& push : shard.pushes) {
+        from.wakesTo[shard_index].clear();
+        for (const StagedPush& push : from.pushesTo[shard_index]) {
+            DLX_OWN_WRITE(ownershipDomain(), push.router,
+                          "commitPush");
             Router& dst = routers_[push.router];
             dst.buffers[push.inPort][push.entry.msg.channel].push(
                 push.entry);
@@ -382,8 +441,15 @@ Network::stepCommit(Cycle)
             dst.wakeAt = 0;
             activateRouter(push.router);
         }
-        shard.pushes.clear();
+        from.pushesTo[shard_index].clear();
     }
+}
+
+void
+Network::stepCommit(Cycle now)
+{
+    for (unsigned s = 0; s < shards_.size(); ++s)
+        commitShard(s, now);
 }
 
 void

@@ -22,13 +22,28 @@
  * contiguous router range, applies intra-router effects immediately
  * (link occupancy, local deliveries into the router's own tile) and
  * stages every cross-router effect — buffer pushes, head pops and the
- * upstream wake-ups they trigger — into per-shard staging buffers; the
- * serial *commit* phase (stepCommit) applies the staged effects in
- * fixed shard/scan order. During compute a router only ever reads
- * start-of-cycle state of foreign routers (each input buffer has
- * exactly one upstream writer, and pops are deferred to commit), so
- * the result is byte-identical for any shard count — step() is the
- * one-shard special case, not a separate semantics.
+ * upstream wake-ups they trigger — into per-shard staging buffers;
+ * the *commit* phase applies the staged effects. During compute a
+ * router only ever reads start-of-cycle state of foreign routers
+ * (each input buffer has exactly one upstream writer, and pops are
+ * deferred to commit), so the result is byte-identical for any shard
+ * count — step() is the one-shard special case, not a separate
+ * semantics.
+ *
+ * The commit itself is parallel: effects are staged bucketed by the
+ * *destination* router's shard (pops always land in the staging
+ * shard's own range; pushes and wakes go to pushesTo[dst] /
+ * wakesTo[dst]), and commitShard(d) — one call per worker, claiming
+ * shard d's router range — applies everything targeting shard d in
+ * (source shard, staging sequence) order. Within one cycle each
+ * (router, port, channel) buffer sees at most one pop (its pair is
+ * scanned once) and at most one push (the upstream link serializes),
+ * each waiter slot at most one wake (only the pop of the watched
+ * buffer stages it), and all remaining effect pairs touch disjoint
+ * state or are idempotent — so the destination-grouped order is
+ * byte-identical to the old serial fixed-order commit, at every
+ * shard count. stepCommit() survives as the serial wrapper (all
+ * shards on the calling thread) for stand-alone users.
  *
  * The compute phase is event-driven (NocConfig::scanMode): each shard
  * keeps an active-router worklist holding exactly the routers with a
@@ -153,8 +168,31 @@ class Network
      */
     void stepCompute(unsigned shard, Cycle now);
 
-    /** Serial commit: apply every shard's staged effects in order. */
+    /**
+     * Commit the staged effects *targeting* shard `shard`: its own
+     * pops, then every source shard's staged wakes and pushes whose
+     * destination router lies in shard `shard`, in (source shard,
+     * staging sequence) order. Distinct shards may run concurrently —
+     * each worker writes only routers of its own range — but a
+     * barrier must separate commitShard from both the preceding
+     * compute phase and any subsequent reader (the effect application
+     * orders commute, see the file comment, so the merged state is
+     * byte-identical to a serial commit).
+     */
+    void commitShard(unsigned shard, Cycle now);
+
+    /** Serial commit: commitShard for every shard on this thread. */
     void stepCommit(Cycle now);
+
+    /**
+     * Move the shard boundaries to `bounds` (bounds[s], bounds[s+1])
+     * without disturbing the per-shard whole-run accumulators (their
+     * sums are partition-invariant). Serial only, between cycles
+     * (staging buffers empty); worklists are rebuilt from the
+     * occupancy ground truth. The shard *count* never changes — the
+     * engine's rebalancer only re-splits ranges.
+     */
+    void reshard(const std::vector<TileId>& bounds);
 
     /** True when no message is buffered anywhere in the network.
      *  Valid between cycles (after stepCommit / outside phases). */
@@ -363,6 +401,18 @@ class Network
         Port inPort;   //!< receiving input port
         InFlight entry;
     };
+    /**
+     * A staged upstream wake: the pop of a buffer frees the slot its
+     * feeder is sleeping on, so the commit re-arms exactly the pairs
+     * recorded in waiters[slot] of the upstream router. Staged at pop
+     * time with the upstream id precomputed, bucketed by the
+     * *upstream* router's shard — the wake mutates that router.
+     */
+    struct StagedWake
+    {
+        TileId router;      //!< upstream router to re-arm
+        std::uint16_t slot; //!< its waiters[] slot to wake
+    };
 
     /** Per-shard staging buffers and stat accumulators. Cache-line
      *  aligned so concurrent shard workers never false-share the
@@ -371,8 +421,15 @@ class Network
     {
         TileId beginRouter = 0;
         TileId endRouter = 0;
+        /** Staged pops of this shard's own routers (a pop's target is
+         *  always the router that was scanned). */
         std::vector<StagedPop> pops;
-        std::vector<StagedPush> pushes;
+        /** Staged cross-router effects bucketed by the *destination*
+         *  router's shard: commitShard(d) drains [d] of every source
+         *  shard, so each worker applies exactly the effects landing
+         *  in its own range. */
+        std::vector<std::vector<StagedPush>> pushesTo;
+        std::vector<std::vector<StagedWake>> wakesTo;
         NocStats stats;
         /**
          * Active-router worklist (EngineScan::active), an intrusive
@@ -402,6 +459,10 @@ class Network
     void activateRouter(TileId router);
     /** Scan one router's movable heads (the compute-phase body). */
     void computeRouter(TileId router_id, Cycle now, Shard& shard);
+    /** Stage the pop of (router, port, channel) plus — for non-local
+     *  ports — the upstream wake it triggers, destination-bucketed. */
+    void stagePop(TileId router_id, Port in_port, ChannelId channel,
+                  Shard& shard);
     /**
      * Attempt one head move during compute. Returns true if the head
      * moved (its pop is staged). On a timed failure, lowers `retryAt`

@@ -156,7 +156,8 @@ constexpr const char* knownFields[] = {
     "width",          "height",       "topology",
     "ruche_factor",   "policy",       "distribution",
     "barrier",        "invoke_overhead", "max_cycles",
-    "engine_threads", "engine_scan",  "params",
+    "engine_threads", "engine_scan",  "engine_barrier",
+    "engine_rebalance", "params",
     "seed",           "validate",     "scratchpad_bytes",
 };
 
@@ -330,7 +331,11 @@ parseRequestLine(const std::string& line)
     if (!u32Field(object, "engine_threads", 1, 256, 1, engine_threads,
                   err))
         return fail(std::move(parsed), err);
-    o.machine.engineThreads = engine_threads;
+    // Mirror cli::parseArgs's clamp: never more workers than shards,
+    // so a request and the equivalent argv render the same
+    // machine.engine_threads in the report.
+    o.machine.engineThreads = std::min(
+        engine_threads, o.machine.width * o.machine.height);
 
     std::string engine_scan;
     if (!stringField(object, "engine_scan", "", engine_scan, err))
@@ -339,6 +344,20 @@ parseRequestLine(const std::string& line)
         !cli::parseEngineScan(engine_scan, o.machine.engineScan))
         return fail(std::move(parsed),
                     "engine_scan must be full|active");
+
+    std::string engine_barrier;
+    if (!stringField(object, "engine_barrier", "", engine_barrier,
+                     err))
+        return fail(std::move(parsed), err);
+    if (!engine_barrier.empty() &&
+        !cli::parseEngineBarrier(engine_barrier,
+                                 o.machine.engineBarrier))
+        return fail(std::move(parsed),
+                    "engine_barrier must be tree|central");
+
+    if (!boolField(object, "engine_rebalance", false,
+                   o.machine.engineRebalance, err))
+        return fail(std::move(parsed), err);
 
     std::uint64_t scratchpad = 0;
     if (!u64Field(object, "scratchpad_bytes", 0,
@@ -396,6 +415,10 @@ renderRunRequest(const cli::Options& options, const std::string& id,
         << std::max(1u, o.machine.engineThreads)
         << ",\"engine_scan\":"
         << jsonQuote(toString(o.machine.engineScan))
+        << ",\"engine_barrier\":"
+        << jsonQuote(toString(o.machine.engineBarrier))
+        << ",\"engine_rebalance\":"
+        << (o.machine.engineRebalance ? "true" : "false")
         << ",\"scratchpad_bytes\":"
         << o.machine.scratchpadProvisionBytes;
     if (!o.params.empty()) {
@@ -571,6 +594,7 @@ parseReportPayload(const std::string& payload,
                     s.activeTileCyclesSaved);
         (void)u64At(*engine, "active_router_cycles_saved",
                     s.activeRouterCyclesSaved);
+        (void)u64At(*engine, "rebalances", s.engineRebalances);
         err.clear(); // engine counters are simulator-only; optional
     }
 

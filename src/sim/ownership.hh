@@ -7,12 +7,19 @@
  * RunStats at any --engine-threads) rests on one rule: during a
  * parallel phase, a worker writes only state owned by its shard —
  * its contiguous tile/router index range — and every cross-shard
- * effect is staged per shard and committed serially. This file makes
- * that rule checkable: the engine claims its shard's index range on
- * entry to each parallel phase (RAII), and every mutation point calls
- * a check hook that panics if the written index falls outside the
- * claiming thread's range, or if a thread with no claim writes at all
- * while a parallel phase is running somewhere in the same domain.
+ * effect is staged, bucketed by destination shard, and committed by
+ * the destination's owner in deterministic source order. This file
+ * makes that rule checkable: the engine claims its shard's index
+ * range on entry to each parallel phase (RAII), and every mutation
+ * point calls a check hook that panics if the written index falls
+ * outside the claiming thread's range, or if a thread with no claim
+ * writes at all while a parallel phase is running somewhere in the
+ * same domain. The parallel commit phase takes its own claim scope
+ * ("noc-commit" in Network::commitShard): the same router range as
+ * the compute phase, but covering the *application* of effects other
+ * shards staged for it — so a commit that touches a router outside
+ * its own range (the bug class the destination bucketing exists to
+ * prevent) trips the checker, not just the determinism diff.
  *
  * A *domain* is one index space; the engine uses the owning Machine
  * as the domain for both tile and router writes (tile id == router

@@ -176,8 +176,15 @@ expand(const Plan& plan)
                       o.machine.policy = policy;
                       o.machine.distribution = distribution;
                       o.machine.barrier = barrier;
-                      o.machine.engineThreads = threads;
+                      // Per-point clamp mirroring the CLI: a grid
+                      // with fewer tiles than the threads axis value
+                      // caps the crew at one worker per shard.
+                      o.machine.engineThreads =
+                          std::min(threads, grid.tiles());
                       o.machine.engineScan = plan.engineScan;
+                      o.machine.engineBarrier = plan.engineBarrier;
+                      o.machine.engineRebalance =
+                          plan.engineRebalance;
                       o.machine.invokeOverhead = plan.invokeOverhead;
                       o.machine.scratchpadProvisionBytes =
                           plan.scratchpadProvisionBytes;

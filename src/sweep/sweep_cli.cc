@@ -110,8 +110,8 @@ parseSweepArgs(int argc, const char* const* argv)
             "--distribution", "--barrier",  "--baseline",
             "--ruche-factor", "--invoke-overhead", "--seed",
             "--pagerank-iters", "--param",  "--engine-threads",
-            "--engine-scan", "--threads", "--csv", "--jsonl",
-            "--via",
+            "--engine-scan", "--engine-barrier", "--threads",
+            "--csv", "--jsonl", "--via",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -272,6 +272,12 @@ parseSweepArgs(int argc, const char* const* argv)
             if (!cli::parseEngineScan(value, o.plan.engineScan))
                 return fail("--engine-scan must be full|active, got " +
                             value);
+        } else if (flag == "--engine-barrier") {
+            if (!cli::parseEngineBarrier(value, o.plan.engineBarrier))
+                return fail("--engine-barrier must be tree|central, "
+                            "got " + value);
+        } else if (flag == "--engine-rebalance") {
+            o.plan.engineRebalance = true;
         } else if (flag == "--threads") {
             std::uint32_t threads = 0;
             if (!cli::parseU32(value, 1, 256, threads))
@@ -364,6 +370,14 @@ sweepUsageText()
         "  --engine-scan M       full|active scan mode for every"
         " point (default\n"
         "                        active; results identical for both)\n"
+        "  --engine-barrier B    tree|central phase barrier for every"
+        " point\n"
+        "                        (default tree; results identical for"
+        " both)\n"
+        "  --engine-rebalance    occupancy-driven shard rebalancing"
+        " for every\n"
+        "                        point (default off; results"
+        " identical)\n"
         "\n"
         "scenario knobs:\n"
         "  --baseline WxH        speedup baseline shape"
@@ -438,6 +452,20 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
     if (!expanded.ok) {
         err << "dalorex sweep: " << expanded.error << "\n";
         return 2;
+    }
+    // Mirror the single-run CLI's advisory: points whose grid has
+    // fewer tiles than the threads axis value were clamped to one
+    // worker per shard during expansion.
+    unsigned min_tiles = ~0u;
+    for (const GridShape& grid : o.plan.grids)
+        min_tiles = std::min(min_tiles, grid.tiles());
+    for (const unsigned n : o.plan.engineThreads) {
+        if (!o.plan.grids.empty() && n > min_tiles) {
+            err << "dalorex sweep: --engine-threads values above a "
+                   "grid's tile count run clamped to one thread per "
+                   "shard on that grid\n";
+            break;
+        }
     }
 
     // SIGINT during the run phase degrades to a partial sweep: rows

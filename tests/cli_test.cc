@@ -169,6 +169,48 @@ TEST(CliParse, EngineScanFlag)
     EXPECT_FALSE(parse({"--engine-scan", "lazy"}).ok);
 }
 
+TEST(CliParse, EngineBarrierFlag)
+{
+    EXPECT_EQ(parse({}).options.machine.engineBarrier,
+              EngineBarrier::tree); // the scalable one is the default
+    const ParseResult central = parse({"--engine-barrier", "central"});
+    ASSERT_TRUE(central.ok) << central.error;
+    EXPECT_EQ(central.options.machine.engineBarrier,
+              EngineBarrier::central);
+    const ParseResult tree = parse({"--engine-barrier", "TREE"});
+    ASSERT_TRUE(tree.ok) << tree.error;
+    EXPECT_EQ(tree.options.machine.engineBarrier,
+              EngineBarrier::tree);
+
+    EXPECT_FALSE(parse({"--engine-barrier"}).ok);
+    EXPECT_FALSE(parse({"--engine-barrier", "mcs"}).ok);
+}
+
+TEST(CliParse, EngineRebalanceFlag)
+{
+    EXPECT_FALSE(parse({}).options.machine.engineRebalance);
+    const ParseResult r = parse({"--engine-rebalance"});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.options.machine.engineRebalance);
+}
+
+TEST(CliParse, EngineThreadsClampToTilesWithNote)
+{
+    // 2x2 grid = 4 shards max; 16 workers would idle 12 of them.
+    const ParseResult r = parse({"--width", "2", "--height", "2",
+                                 "--engine-threads", "16"});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.options.machine.engineThreads, 4u);
+    EXPECT_NE(r.note.find("--engine-threads"), std::string::npos);
+
+    // At or below the tile count: no clamp, no note.
+    const ParseResult fit = parse({"--width", "2", "--height", "2",
+                                   "--engine-threads", "4"});
+    ASSERT_TRUE(fit.ok) << fit.error;
+    EXPECT_EQ(fit.options.machine.engineThreads, 4u);
+    EXPECT_TRUE(fit.note.empty());
+}
+
 TEST(CliParse, ParamOverridesAndDeprecatedAlias)
 {
     const ParseResult r =
@@ -314,6 +356,39 @@ TEST(CliMain, EngineThreadsSurfaceInJson)
                out, err);
     EXPECT_EQ(code, 0) << err;
     EXPECT_EQ(jsonUint(out, "engine_threads"), 4u);
+}
+
+TEST(CliMain, EngineThreadsClampNoteOnStderrAndClampedJson)
+{
+    std::string out;
+    std::string err;
+    const int code =
+        runCli({"--kernel", "bfs", "--width", "2", "--height", "2",
+                "--scale", "7", "--engine-threads", "64", "--json"},
+               out, err);
+    EXPECT_EQ(code, 0) << err;
+    // The run proceeds clamped to one worker per shard, with a
+    // one-line stderr advisory; the report shows the effective value.
+    EXPECT_EQ(jsonUint(out, "engine_threads"), 4u);
+    EXPECT_NE(err.find("--engine-threads"), std::string::npos);
+}
+
+TEST(CliMain, EngineBarrierAndRebalanceSurfaceInJson)
+{
+    std::string out;
+    std::string err;
+    const int code =
+        runCli({"--kernel", "bfs", "--width", "4", "--height", "4",
+                "--scale", "8", "--engine-threads", "4",
+                "--engine-barrier", "central", "--engine-rebalance",
+                "--json"},
+               out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_NE(out.find("\"engine_barrier\":\"central\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"engine_rebalance\":true"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"rebalances\":"), std::string::npos);
 }
 
 TEST(CliMain, TextReportMentionsKernelAndCycles)

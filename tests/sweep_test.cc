@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -409,6 +410,36 @@ TEST(Expand, EngineThreadsAxisMultipliesPoints)
     EXPECT_FALSE(expand(plan).ok);
 }
 
+TEST(Expand, EngineThreadsClampToEachGridsTiles)
+{
+    Plan plan = miniPlan();
+    plan.grids = {{2, 2}, {4, 4}};
+    plan.engineThreads = {16};
+    const ExpandResult result = expand(plan);
+    ASSERT_TRUE(result.ok) << result.error;
+    for (const cli::Options& point : result.points) {
+        const unsigned tiles =
+            point.machine.width * point.machine.height;
+        EXPECT_EQ(point.machine.engineThreads, std::min(16u, tiles))
+            << toString(GridShape{point.machine.width,
+                                  point.machine.height});
+    }
+}
+
+TEST(Expand, EngineBarrierAndRebalanceApplyToEveryPoint)
+{
+    Plan plan = miniPlan();
+    plan.engineBarrier = EngineBarrier::central;
+    plan.engineRebalance = true;
+    const ExpandResult result = expand(plan);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_FALSE(result.points.empty());
+    for (const cli::Options& point : result.points) {
+        EXPECT_EQ(point.machine.engineBarrier, EngineBarrier::central);
+        EXPECT_TRUE(point.machine.engineRebalance);
+    }
+}
+
 TEST(RunAggregate, EngineThreadsAxisChangesNothingButTheColumn)
 {
     // The engine contract one level up: points differing only in
@@ -479,6 +510,37 @@ TEST(SweepParse, EngineThreadsAndParamFlags)
               2);
     EXPECT_NE(err.find("below the largest"), std::string::npos);
     EXPECT_EQ(runSweep({"--engine-scan", "lazy"}, out, err), 2);
+}
+
+TEST(SweepParse, EngineBarrierAndRebalanceFlags)
+{
+    const std::vector<const char*> args = {
+        "sweep", "--engine-barrier", "central", "--engine-rebalance"};
+    const SweepParseResult parsed =
+        parseSweepArgs(static_cast<int>(args.size()), args.data());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.options.plan.engineBarrier,
+              EngineBarrier::central);
+    EXPECT_TRUE(parsed.options.plan.engineRebalance);
+
+    std::string out;
+    std::string err;
+    EXPECT_EQ(runSweep({"--engine-barrier", "mcs"}, out, err), 2);
+    EXPECT_NE(err.find("--engine-barrier"), std::string::npos);
+}
+
+TEST(SweepMain, EngineThreadsAboveGridTilesRunsClampedWithNote)
+{
+    std::string out;
+    std::string err;
+    const int code = runSweep({"--kernel", "bfs", "--grid-size",
+                               "2x2", "--scale", "7",
+                               "--engine-threads", "16", "--threads",
+                               "16", "--json"},
+                              out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_NE(err.find("clamped"), std::string::npos);
+    EXPECT_NE(out.find("\"engine_threads\":4"), std::string::npos);
 }
 
 TEST(SweepParse, RepeatedAxisFlagsAppendConsistently)

@@ -13,10 +13,9 @@ speed.
 """
 
 import argparse
-import json
-import subprocess
 import sys
-import time
+
+from bench_lib import geomean, normalized, run_point, write_artifact
 
 # The 64x64 workload set: the dense scaling-smoke pair (bfs,
 # pagerank) plus the sparse-frontier/tail regimes active-set stepping
@@ -28,45 +27,6 @@ WORKLOADS = [
     ("sssp", ["--scale", "13"]),
     ("kcore", ["--scale", "13"]),
 ]
-
-
-def run_point(dalorex, kernel, extra, scan):
-    args = [
-        dalorex,
-        "--kernel", kernel,
-        "--width", "64",
-        "--height", "64",
-        "--engine-threads", "1",
-        "--engine-scan", scan,
-        "--time-engine",
-        "--json",
-    ] + extra
-    start = time.monotonic()
-    proc = subprocess.run(args, capture_output=True, text=True)
-    wall = time.monotonic() - start
-    if proc.returncode != 0:
-        sys.exit(f"bench_pr5: {' '.join(args)} failed: {proc.stderr}")
-    report = json.loads(proc.stdout)
-    # The engine's own wall time (stderr, --time-engine) is the
-    # speedup numerator: process wall time includes scan-mode-
-    # independent setup (RMAT generation, CSR build, rendering) that
-    # would dilute the measurement.
-    engine_wall = None
-    for line in proc.stderr.splitlines():
-        if line.startswith("engine_wall_seconds "):
-            engine_wall = float(line.split()[1])
-    if engine_wall is None:
-        sys.exit(f"bench_pr5: {kernel}/{scan}: no engine_wall_seconds "
-                 "line on stderr")
-    return wall, engine_wall, report
-
-
-def normalized(report):
-    """The byte-identity contract, minus the execution facets."""
-    clone = json.loads(json.dumps(report))
-    clone["machine"]["engine_scan"] = None
-    clone["stats"]["engine"] = None
-    return clone
 
 
 def main():
@@ -85,7 +45,11 @@ def main():
         engine_walls = {}
         for scan in ("full", "active"):
             wall, engine_wall, report = run_point(
-                opts.dalorex, kernel, extra, scan)
+                opts.dalorex,
+                ["--kernel", kernel, "--width", "64", "--height",
+                 "64", "--engine-threads", "1", "--engine-scan",
+                 scan] + extra,
+                tag="bench_pr5")
             reports[scan] = report
             engine_walls[scan] = engine_wall
             engine = report["stats"]["engine"]
@@ -120,22 +84,15 @@ def main():
               f"tile occupancy "
               f"{point['active']['tile_scan_occupancy']:.3f}")
 
-    geo = 1.0
-    for row in rows:
-        geo *= row["speedup_active_vs_full"]
-    geo **= 1.0 / len(rows)
-
+    geo = geomean([row["speedup_active_vs_full"] for row in rows])
     out = {
         "bench": "pr5_active_set_scheduling",
         "engine_threads": 1,
         "workloads": rows,
         "geomean_speedup_active_vs_full": round(geo, 3),
     }
-    with open(opts.out, "w") as handle:
-        json.dump(out, handle, indent=2)
-        handle.write("\n")
-    print(f"geomean speedup {out['geomean_speedup_active_vs_full']}x "
-          f"-> {opts.out}")
+    print(f"geomean speedup {out['geomean_speedup_active_vs_full']}x")
+    write_artifact(opts.out, out)
 
 
 if __name__ == "__main__":
