@@ -12,6 +12,7 @@
 
 #include "apps/graph_app.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "common/text.hh"
 #include "graph/dataset_cache.hh"
@@ -155,7 +156,7 @@ parseArgs(int argc, const char* const* argv)
             "--distribution", "--scale",        "--dataset",
             "--seed",         "--invoke-overhead", "--max-cycles",
             "--engine-threads", "--engine-scan", "--engine-barrier",
-            "--param",          "--pagerank-iters",
+            "--param",          "--pagerank-iters", "--deadline-ms",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -214,6 +215,10 @@ parseArgs(int argc, const char* const* argv)
                 return fail("--max-cycles must be a cycle count, got " +
                             value);
             o.machine.maxCycles = v;
+        } else if (flag == "--deadline-ms") {
+            if (!parseU64(value, o.deadlineMs))
+                return fail("--deadline-ms must be a millisecond "
+                            "count, got " + value);
         } else if (flag == "--engine-threads") {
             std::uint32_t threads = 0;
             if (!parseU32(value, 1, 256, threads))
@@ -356,7 +361,13 @@ usageText()
         " (default low-order)\n"
         "  --barrier            force epoch-synchronized execution\n"
         "  --invoke-overhead N  extra cycles per task invocation\n"
-        "  --max-cycles N       hard cycle limit (0 = none)\n"
+        "  --max-cycles N       hard cycle limit (0 = none); the run\n"
+        "                       ends with status \"timeout\" and exit\n"
+        "                       code 3 when exceeded\n"
+        "  --deadline-ms N      wall-clock budget for the engine run\n"
+        "                       (0 = none): a watchdog thread expires\n"
+        "                       it and the run unwinds with status\n"
+        "                       \"timeout\" at a cycle boundary\n"
         "\n"
         "execution (simulator only; never changes results):\n"
         "  --engine-threads N   engine worker threads [1, 256]\n"
@@ -495,6 +506,13 @@ runScenario(const Options& options)
 RunOutcome
 runScenario(const Options& options, EngineArenas* pool)
 {
+    return runScenario(options, pool, nullptr);
+}
+
+RunOutcome
+runScenario(const Options& options, EngineArenas* pool,
+            RunControl* control)
+{
     RunOutcome outcome;
     Report& report = outcome.report;
     report.options = options;
@@ -517,8 +535,12 @@ runScenario(const Options& options, EngineArenas* pool)
                            " (try --list-datasets)");
     const CachedDataset cached = datasetCacheGet(
         dataset_name, options.datasetScale, options.seed);
-    if (!cached.ok)
+    if (!cached.ok) {
+        // A failed file: load is I/O and worth retrying (the cache's
+        // negative entry expires); a failed generation is not.
+        outcome.transient = cached.transient;
         return failRun(std::move(outcome), cached.error);
+    }
     report.datasetName = !options.dataset.empty()
                              ? cached.dataset->name
                              : dataset_name;
@@ -532,12 +554,48 @@ runScenario(const Options& options, EngineArenas* pool)
     auto app = setup.makeApp();
     Machine machine(options.machine, setup.graph.numVertices,
                     setup.graph.numEdges, pool);
+
+    // The caller's RunControl (cancel propagation) or a local one;
+    // a nonzero deadline arms the process-wide watchdog on it either
+    // way, so `--deadline-ms` works for every entry point.
+    RunControl local_control;
+    RunControl* ctl = control != nullptr ? control : &local_control;
+    std::uint64_t watchdog_token = 0;
+    if (options.deadlineMs > 0)
+        watchdog_token = processDeadlineWatchdog().arm(
+            std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options.deadlineMs),
+            &ctl->expired);
+
     const auto engine_start = std::chrono::steady_clock::now();
-    report.stats = machine.run(*app);
+    report.stats = machine.run(*app, ctl);
     report.engineWallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - engine_start)
             .count();
+    if (watchdog_token != 0)
+        processDeadlineWatchdog().disarm(watchdog_token);
+
+    // Derived quantities are computed even for an early-unwound run:
+    // the partial report is the payload a timed-out serve request
+    // answers with (status says how far it got). A run unwound before
+    // its first cycle committed has no energy to model — leave the
+    // breakdown zeroed rather than panic.
+    if (report.stats.cycles > 0) {
+        report.energy = dalorexEnergy(report.stats, options.machine);
+        report.seconds = runSeconds(report.stats);
+        report.bandwidthBytesPerSec =
+            avgMemoryBandwidth(report.stats);
+    }
+
+    outcome.status = report.stats.status;
+    if (outcome.status != RunStatus::completed) {
+        outcome.ok = false;
+        outcome.transient = outcome.status == RunStatus::timeout;
+        outcome.error = std::string(toString(outcome.status)) + ": " +
+                        report.stats.statusDetail;
+        return outcome;
+    }
 
     if (options.validate) {
         const ValidationResult valid =
@@ -549,10 +607,6 @@ runScenario(const Options& options, EngineArenas* pool)
                                valid.detail);
         report.validated = true;
     }
-
-    report.energy = dalorexEnergy(report.stats, options.machine);
-    report.seconds = runSeconds(report.stats);
-    report.bandwidthBytesPerSec = avgMemoryBandwidth(report.stats);
     return outcome;
 }
 
@@ -645,6 +699,7 @@ renderJson(const Report& report)
     out << "\"seconds\":" << Table::num(report.seconds) << ",";
     out << "\"memory_bandwidth_bytes_per_sec\":"
         << Table::num(report.bandwidthBytesPerSec) << ",";
+    out << "\"status\":\"" << toString(s.status) << "\",";
     out << "\"validated\":" << (report.validated ? "true" : "false");
     out << "}\n";
     return out.str();
@@ -687,6 +742,9 @@ renderText(const Report& report)
         << Table::num(report.energy.logicPct()) << " %, memory "
         << Table::num(report.energy.memoryPct()) << " %, network "
         << Table::num(report.energy.networkPct()) << " %)\n";
+    if (s.status != RunStatus::completed)
+        out << "status            " << toString(s.status) << " ("
+            << s.statusDetail << "); stats above are partial\n";
     if (report.validated)
         out << "validated         output matches the sequential"
                " reference\n";
@@ -717,7 +775,7 @@ cliMain(int argc, const char* const* argv, std::ostream& out,
         return 0;
     }
     const RunOutcome outcome = runScenario(parsed.options);
-    if (!outcome.ok) {
+    if (!outcome.ok && outcome.status == RunStatus::completed) {
         err << "dalorex: " << outcome.error << "\n";
         return 2;
     }
@@ -726,6 +784,12 @@ cliMain(int argc, const char* const* argv, std::ostream& out,
             << outcome.report.engineWallSeconds << "\n";
     out << (parsed.options.json ? renderJson(outcome.report)
                                 : renderText(outcome.report));
+    if (outcome.status != RunStatus::completed) {
+        // Timeout / cancel / deadlock: the partial report above says
+        // how far the run got; a distinct exit code says it's partial.
+        err << "dalorex: " << outcome.error << "\n";
+        return 3;
+    }
     return 0;
 }
 

@@ -45,6 +45,16 @@ struct Options
      *  a deprecated alias for iterations=N. */
     std::vector<ParamOverride> params;
     std::uint64_t seed = 1;   //!< dataset/weight seed
+    /**
+     * Wall-clock budget for the engine run in milliseconds (0 =
+     * none). The process-wide DeadlineWatchdog arms when the run
+     * starts; expiry unwinds the engine at a cycle boundary with
+     * RunStatus::timeout instead of the run hanging or being killed.
+     * A run-control knob, not scenario identity: it is never rendered
+     * into reports, so a completed run's bytes are identical with or
+     * without a deadline.
+     */
+    std::uint64_t deadlineMs = 0;
     bool json = false;        //!< emit JSON instead of text
     /** Print the engine-loop wall time to stderr (one line,
      *  `engine_wall_seconds X`): perf tooling reads it without
@@ -145,6 +155,21 @@ struct RunOutcome
     bool ok = true;
     /** Set when !ok: impossible scenario or reference mismatch. */
     std::string error;
+    /**
+     * How the engine run ended (mirrors report.stats.status). A
+     * timeout/cancelled/deadlock run has ok == false but the report
+     * is still filled with the partial stats, so callers (serve) can
+     * answer with a `result` carrying status:"timeout" rather than a
+     * bare error line.
+     */
+    RunStatus status = RunStatus::completed;
+    /**
+     * Whether the failure is plausibly transient (a dataset-file I/O
+     * error, a wall-clock timeout) and worth retrying with backoff —
+     * vs permanent (unknown scenario, validation mismatch), which the
+     * sweep layer quarantines instead of re-running.
+     */
+    bool transient = false;
 };
 
 /**
@@ -164,6 +189,16 @@ RunOutcome runScenario(const Options& options);
  */
 RunOutcome runScenario(const Options& options, EngineArenas* pool);
 
+/**
+ * Same, under cooperative run control. `control` (may be nullptr) is
+ * polled by the engine's serial tail: an externally set cancel flag
+ * unwinds the run as cancelled, and options.deadlineMs (or a watchdog
+ * the caller armed on control->expired itself) unwinds it as a
+ * timeout — both at a cycle boundary, with the partial report filled.
+ */
+RunOutcome runScenario(const Options& options, EngineArenas* pool,
+                       RunControl* control);
+
 /** Render a report as a single valid JSON object (with newline). */
 std::string renderJson(const Report& report);
 
@@ -173,7 +208,9 @@ std::string renderText(const Report& report);
 /**
  * Full program behavior: parse, run, print to `out`; diagnostics go
  * to `err`. Returns the process exit code (0 ok, 2 on a usage error
- * or an impossible/failed scenario — one-line diagnostic on err).
+ * or an impossible/failed scenario — one-line diagnostic on err, 3
+ * when the run unwound early via timeout/cancel/deadlock — the
+ * partial report is still printed with its status field).
  */
 int cliMain(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err);

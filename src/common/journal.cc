@@ -1,0 +1,320 @@
+#include "common/journal.hh"
+
+#include <cstdio>
+
+#include "graph/graphfile.hh"
+#include "serve/json.hh"
+
+namespace dalorex
+{
+namespace journal
+{
+
+namespace
+{
+
+/** 16-digit zero-padded lowercase hex (the on-disk hash spelling). */
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buf, 16);
+}
+
+bool
+parseHex16(const std::string& text, std::uint64_t& out)
+{
+    if (text.size() != 16)
+        return false;
+    out = 0;
+    for (char c : text) {
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+/** Checksum member appended to every line: hash of the line's bytes
+ *  up to (excluding) the `,"checksum"` suffix plus a closing brace —
+ *  i.e. of the record as it would render without the checksum. */
+constexpr const char* checksumKey = ",\"checksum\":\"";
+
+std::string
+seal(std::string core)
+{
+    // `core` is the full object without the checksum member.
+    const std::uint64_t sum = hashBytes(core.data(), core.size());
+    core.pop_back(); // drop the closing '}'
+    core += checksumKey;
+    core += hex16(sum);
+    core += "\"}";
+    return core;
+}
+
+/** Split a sealed line back into core + checksum; false if torn. */
+bool
+unseal(const std::string& line, std::string& core, std::uint64_t& sum)
+{
+    const std::size_t at = line.rfind(checksumKey);
+    if (at == std::string::npos)
+        return false;
+    const std::size_t tail = at + std::string(checksumKey).size();
+    if (line.size() != tail + 16 + 2 || line.back() != '}' ||
+        line[line.size() - 2] != '"')
+        return false;
+    if (!parseHex16(line.substr(tail, 16), sum))
+        return false;
+    core = line.substr(0, at) + "}";
+    return true;
+}
+
+} // namespace
+
+const char*
+toString(RowStatus status)
+{
+    switch (status) {
+    case RowStatus::failed: return "failed";
+    case RowStatus::quarantined: return "quarantined";
+    case RowStatus::skipped: return "skipped";
+    case RowStatus::ok: break;
+    }
+    return "ok";
+}
+
+bool
+parseRowStatus(std::string_view text, RowStatus& out)
+{
+    if (text == "ok")
+        out = RowStatus::ok;
+    else if (text == "failed")
+        out = RowStatus::failed;
+    else if (text == "quarantined")
+        out = RowStatus::quarantined;
+    else if (text == "skipped")
+        out = RowStatus::skipped;
+    else
+        return false;
+    return true;
+}
+
+std::string
+renderHeader(std::uint64_t planHash, std::uint64_t points)
+{
+    std::string core = "{\"type\":\"journal\",\"version\":1,\"plan\":\"";
+    core += hex16(planHash);
+    core += "\",\"points\":";
+    core += std::to_string(points);
+    core += "}";
+    return seal(std::move(core));
+}
+
+std::string
+renderRecord(const Record& record)
+{
+    std::string core = "{\"type\":\"row\",\"row\":";
+    core += std::to_string(record.row);
+    core += ",\"point\":\"";
+    core += hex16(record.pointHash);
+    core += "\",\"status\":\"";
+    core += toString(record.status);
+    core += "\",\"attempts\":";
+    core += std::to_string(record.attempts);
+    if (!record.error.empty()) {
+        core += ",\"error\":";
+        core += serve::jsonQuote(record.error);
+    }
+    if (record.status == RowStatus::ok) {
+        core += ",\"report\":";
+        core += record.payload; // verbatim renderJson bytes
+    }
+    core += "}";
+    return seal(std::move(core));
+}
+
+bool
+parseLine(const std::string& line, ParsedLine& out, std::string& err)
+{
+    std::string core;
+    std::uint64_t sum = 0;
+    if (!unseal(line, core, sum)) {
+        err = "torn record (no checksum)";
+        return false;
+    }
+    if (hashBytes(core.data(), core.size()) != sum) {
+        err = "checksum mismatch";
+        return false;
+    }
+    const serve::JsonParseResult parsed = serve::parseJson(core);
+    if (!parsed.ok) {
+        err = parsed.error;
+        return false;
+    }
+    const serve::JsonValue& value = parsed.value;
+    const serve::JsonValue* type = value.find("type");
+    if (type == nullptr || !type->isString()) {
+        err = "record has no type";
+        return false;
+    }
+
+    out = ParsedLine{};
+    if (type->text == "journal") {
+        out.isHeader = true;
+        const serve::JsonValue* plan = value.find("plan");
+        const serve::JsonValue* points = value.find("points");
+        if (plan == nullptr || !plan->isString() ||
+            !parseHex16(plan->text, out.planHash)) {
+            err = "header has no plan hash";
+            return false;
+        }
+        if (points == nullptr || !points->asU64(out.points)) {
+            err = "header has no point count";
+            return false;
+        }
+        return true;
+    }
+    if (type->text != "row") {
+        err = "unknown record type \"" + type->text + "\"";
+        return false;
+    }
+
+    Record& record = out.record;
+    const serve::JsonValue* row = value.find("row");
+    if (row == nullptr || !row->asU64(record.row)) {
+        err = "row record has no row index";
+        return false;
+    }
+    const serve::JsonValue* point = value.find("point");
+    if (point == nullptr || !point->isString() ||
+        !parseHex16(point->text, record.pointHash)) {
+        err = "row record has no point hash";
+        return false;
+    }
+    const serve::JsonValue* status = value.find("status");
+    if (status == nullptr || !status->isString() ||
+        !parseRowStatus(status->text, record.status)) {
+        err = "row record has no status";
+        return false;
+    }
+    std::uint64_t attempts = 1;
+    const serve::JsonValue* tries = value.find("attempts");
+    if (tries != nullptr && !tries->asU64(attempts)) {
+        err = "row record has a bad attempt count";
+        return false;
+    }
+    record.attempts = static_cast<std::uint32_t>(attempts);
+    if (const serve::JsonValue* error = value.find("error");
+        error != nullptr && error->isString())
+        record.error = error->text;
+    if (record.status == RowStatus::ok) {
+        // Recover the report payload *verbatim* (not re-rendered):
+        // the bytes between `"report":` and the core's closing brace.
+        const std::size_t at = core.find(",\"report\":");
+        if (at == std::string::npos) {
+            err = "ok record has no report";
+            return false;
+        }
+        const std::size_t from = at + std::string(",\"report\":").size();
+        record.payload = core.substr(from, core.size() - 1 - from);
+    }
+    return true;
+}
+
+bool
+Writer::open(const std::string& path, std::uint64_t planHash,
+             std::uint64_t points, std::string& err)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.open(path, std::ios::out | std::ios::app);
+    if (!out_) {
+        err = "cannot open journal " + path;
+        return false;
+    }
+    out_ << renderHeader(planHash, points) << '\n' << std::flush;
+    if (!out_) {
+        err = "cannot write journal header to " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+Writer::append(const Record& record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_.is_open() || !out_)
+        return false;
+    out_ << renderRecord(record) << '\n' << std::flush;
+    if (!out_)
+        return false;
+    ++written_;
+    return true;
+}
+
+std::uint64_t
+Writer::written() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return written_;
+}
+
+void
+Writer::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_.is_open())
+        out_.close();
+}
+
+Replay
+replay(const std::string& path)
+{
+    Replay result;
+    std::ifstream in(path);
+    if (!in) {
+        result.error = "cannot open journal " + path;
+        return result;
+    }
+    bool sawHeader = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ParsedLine parsed;
+        std::string err;
+        if (!parseLine(line, parsed, err)) {
+            ++result.corrupt;
+            continue;
+        }
+        if (parsed.isHeader) {
+            if (!sawHeader) {
+                sawHeader = true;
+                result.planHash = parsed.planHash;
+                result.points = parsed.points;
+            } else if (parsed.planHash != result.planHash ||
+                       parsed.points != result.points) {
+                result.error = "journal headers disagree (mixed plans "
+                               "in " + path + ")";
+                return result;
+            }
+            continue;
+        }
+        result.records.push_back(std::move(parsed.record));
+    }
+    if (!sawHeader) {
+        result.error = "journal " + path + " has no valid header";
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace journal
+} // namespace dalorex

@@ -190,4 +190,78 @@ WorkerCrew::workerLoop(unsigned member)
     }
 }
 
+DeadlineWatchdog::~DeadlineWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+std::uint64_t
+DeadlineWatchdog::arm(Clock::time_point when, std::atomic<bool>* flag)
+{
+    std::uint64_t token = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        token = nextToken_++;
+        entries_[token] = Entry{when, flag};
+        if (!thread_.joinable())
+            thread_ = std::thread([this] { loop(); });
+    }
+    cv_.notify_all();
+    return token;
+}
+
+void
+DeadlineWatchdog::disarm(std::uint64_t token)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(token);
+    // No wake needed: the loop re-checks the earliest deadline after
+    // every timed wait, and a stale early wake-up is harmless.
+}
+
+std::size_t
+DeadlineWatchdog::armed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+DeadlineWatchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (stop_)
+            return;
+        const Clock::time_point now = Clock::now();
+        Clock::time_point earliest = Clock::time_point::max();
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->second.when <= now) {
+                it->second.flag->store(true, std::memory_order_release);
+                it = entries_.erase(it);
+            } else {
+                earliest = std::min(earliest, it->second.when);
+                ++it;
+            }
+        }
+        if (earliest == Clock::time_point::max())
+            cv_.wait(lock);
+        else
+            cv_.wait_until(lock, earliest);
+    }
+}
+
+DeadlineWatchdog&
+processDeadlineWatchdog()
+{
+    static DeadlineWatchdog watchdog;
+    return watchdog;
+}
+
 } // namespace dalorex

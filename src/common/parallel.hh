@@ -15,10 +15,14 @@
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -179,6 +183,64 @@ class CentralBarrier final : public PhaseBarrier
 /** Build the configured barrier flavor for `members` members. */
 std::unique_ptr<PhaseBarrier> makePhaseBarrier(EngineBarrier kind,
                                                unsigned members);
+
+/**
+ * A monotonic-clock deadline watchdog: arm() registers an atomic flag
+ * to be set once std::chrono::steady_clock passes `when`; disarm()
+ * withdraws it (the common case — the run finished in time). One
+ * background thread, started lazily on the first arm, sleeps until
+ * the earliest armed deadline, so an idle watchdog costs nothing and
+ * a process full of deadline-carrying runs costs one thread total.
+ *
+ * The flag outlives the engine poll site that reads it: the engine's
+ * serial tail checks it once per cycle, so expiry unwinds the run
+ * within one simulated cycle of wall work. Callers must disarm before
+ * destroying the flag.
+ */
+class DeadlineWatchdog
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    DeadlineWatchdog() = default;
+    ~DeadlineWatchdog();
+
+    DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+    DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+    /** Set `*flag` when the clock passes `when`; returns a token for
+     *  disarm(). `flag` must stay valid until disarmed or fired. */
+    std::uint64_t arm(Clock::time_point when, std::atomic<bool>* flag);
+
+    /** Withdraw an armed deadline (no-op if it already fired). */
+    void disarm(std::uint64_t token);
+
+    /** Deadlines currently armed (test introspection). */
+    std::size_t armed() const;
+
+  private:
+    struct Entry
+    {
+        Clock::time_point when;
+        std::atomic<bool>* flag = nullptr;
+    };
+
+    void loop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<std::uint64_t, Entry> entries_;
+    std::uint64_t nextToken_ = 1;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+/**
+ * The process-wide watchdog every deadline-carrying run shares
+ * (`--deadline-ms` on the CLI, per-request `deadline_ms` in serve,
+ * per-row budgets on sweep). One thread for the whole process.
+ */
+DeadlineWatchdog& processDeadlineWatchdog();
 
 } // namespace dalorex
 

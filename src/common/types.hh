@@ -80,6 +80,34 @@ toString(EngineBarrier barrier)
     return barrier == EngineBarrier::tree ? "tree" : "central";
 }
 
+/**
+ * Why a Machine::run ended. Anything but `completed` means the run
+ * unwound early through the cooperative RunControl path — the crew
+ * exits at a cycle boundary with partial (but internally consistent)
+ * stats instead of the process dying. `timeout` covers both the
+ * wall-clock deadline watchdog and the hard cycle limit; `deadlock`
+ * is the no-progress watchdog that used to panic.
+ */
+enum class RunStatus : std::uint8_t
+{
+    completed,
+    timeout,
+    cancelled,
+    deadlock,
+};
+
+constexpr const char*
+toString(RunStatus status)
+{
+    switch (status) {
+    case RunStatus::timeout: return "timeout";
+    case RunStatus::cancelled: return "cancelled";
+    case RunStatus::deadlock: return "deadlock";
+    case RunStatus::completed: break;
+    }
+    return "completed";
+}
+
 /** Sentinel for "no tile". */
 constexpr TileId invalidTile = ~TileId(0);
 

@@ -1,5 +1,7 @@
 #include "graph/dataset_cache.hh"
 
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <mutex>
 
@@ -10,11 +12,31 @@ namespace dalorex
 namespace
 {
 
-/** One cache slot; `once` serializes the build across workers. */
+using SteadyClock = std::chrono::steady_clock;
+
+/**
+ * One cache slot: a small state machine instead of a once_flag so a
+ * *failed* build can be retried after its negative entry expires.
+ * `building` serializes the build across workers (waiters block on
+ * the condition variable, exactly like the old call_once); `failed`
+ * entries answer from the cached error until `retryAfter`, then the
+ * next requester flips the slot back to `building` and rebuilds.
+ */
 struct Entry
 {
-    std::once_flag once;
+    enum class State
+    {
+        empty,    //!< never built (fresh slot)
+        building, //!< one worker is generating/loading right now
+        ready,    //!< immutable success, served forever
+        failed,   //!< negative entry, served until retryAfter
+    };
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    State state = State::empty;
     CachedDataset value;
+    SteadyClock::time_point retryAfter{}; //!< failed only
 };
 
 struct Cache
@@ -22,6 +44,7 @@ struct Cache
     std::mutex mutex;
     std::map<std::string, std::shared_ptr<Entry>> entries;
     DatasetCacheStats stats;
+    std::uint64_t negativeTtlMs = 200;
 };
 
 Cache&
@@ -53,35 +76,75 @@ datasetCacheGet(const std::string& name, unsigned scale,
 {
     Cache& c = cache();
     std::shared_ptr<Entry> entry;
-    bool inserted = false;
+    std::uint64_t negative_ttl_ms = 0;
     {
         std::lock_guard<std::mutex> lock(c.mutex);
         auto& slot = c.entries[cacheKey(name, scale, seed)];
-        if (slot == nullptr) {
+        if (slot == nullptr)
             slot = std::make_shared<Entry>();
-            inserted = true;
-        }
         entry = slot;
-        if (inserted)
-            ++c.stats.builds;
-        else
-            ++c.stats.hits;
+        negative_ttl_ms = c.negativeTtlMs;
     }
-    // Build outside the map lock: a slow generation must not block
-    // lookups of other datasets, only requests for this key.
-    std::call_once(entry->once, [&] {
-        DatasetResult built = scale > 0
-                                  ? tryMakeDatasetAt(name, scale, seed)
-                                  : tryMakeDataset(name, seed);
-        if (!built.ok) {
-            entry->value.ok = false;
-            entry->value.error = built.error;
-            return;
+
+    // Decide under the entry lock whether to serve, wait or build;
+    // the build itself runs unlocked so a slow generation blocks only
+    // requests for this key, never the map.
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    for (;;) {
+        if (entry->state == Entry::State::ready) {
+            std::lock_guard<std::mutex> stats(c.mutex);
+            ++c.stats.hits;
+            return entry->value;
         }
-        entry->value.dataset = std::make_shared<const Dataset>(
-            std::move(built.dataset));
-    });
-    return entry->value;
+        if (entry->state == Entry::State::failed) {
+            if (SteadyClock::now() < entry->retryAfter) {
+                std::lock_guard<std::mutex> stats(c.mutex);
+                ++c.stats.hits;
+                return entry->value;
+            }
+            break; // negative entry expired: this thread rebuilds
+        }
+        if (entry->state == Entry::State::empty)
+            break; // this thread builds
+        entry->cv.wait(lock); // building: await the builder's result
+    }
+
+    entry->state = Entry::State::building;
+    lock.unlock();
+    {
+        std::lock_guard<std::mutex> stats(c.mutex);
+        ++c.stats.builds;
+    }
+
+    CachedDataset result;
+    DatasetResult built = scale > 0
+                              ? tryMakeDatasetAt(name, scale, seed)
+                              : tryMakeDataset(name, seed);
+    if (!built.ok) {
+        result.ok = false;
+        result.error = built.error;
+        // File loads fail for I/O reasons that can heal (the file
+        // appears, the mount recovers); generation failures are
+        // deterministic in the key and never will.
+        result.transient = isFileDataset(name);
+    } else {
+        result.dataset =
+            std::make_shared<const Dataset>(std::move(built.dataset));
+    }
+
+    lock.lock();
+    entry->value = result;
+    if (result.ok) {
+        entry->state = Entry::State::ready;
+    } else {
+        entry->state = Entry::State::failed;
+        entry->retryAfter =
+            SteadyClock::now() +
+            std::chrono::milliseconds(negative_ttl_ms);
+    }
+    lock.unlock();
+    entry->cv.notify_all();
+    return result;
 }
 
 DatasetCacheStats
@@ -99,6 +162,14 @@ datasetCacheClear()
     std::lock_guard<std::mutex> lock(c.mutex);
     c.entries.clear();
     c.stats = DatasetCacheStats{};
+}
+
+void
+datasetCacheSetNegativeTtlMs(std::uint64_t ms)
+{
+    Cache& c = cache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.negativeTtlMs = ms;
 }
 
 } // namespace dalorex

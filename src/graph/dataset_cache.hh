@@ -10,11 +10,14 @@
  * block on a single builder (std::call_once per entry), so N workers
  * trigger exactly one generation or file load.
  *
- * Entries are never evicted: a long sweep touches its few datasets
- * thousands of times, and the working set (a handful of CSR graphs)
- * is small next to the per-scenario engine state. Failed builds are
- * cached too, so a missing graph file fails each row in microseconds
- * instead of re-statting per worker.
+ * Successful entries are never evicted: a long sweep touches its few
+ * datasets thousands of times, and the working set (a handful of CSR
+ * graphs) is small next to the per-scenario engine state. Failed
+ * builds are cached *with an expiry*: a negative entry answers
+ * repeat requests in microseconds until its retry-after stamp
+ * passes, then the next request rebuilds — so one flaky mmap or a
+ * graph file that appears later doesn't poison every future row
+ * (retry/backoff in the sweep layer leans on exactly this).
  */
 
 #ifndef DALOREX_GRAPH_DATASET_CACHE_HH
@@ -36,6 +39,10 @@ struct CachedDataset
     std::shared_ptr<const Dataset> dataset;
     bool ok = true;
     std::string error; //!< one line, set when !ok
+    /** !ok only: whether the failure is worth retrying later (file
+     *  I/O — the negative entry expires) vs deterministic (a bad
+     *  generation spec, which would fail identically forever). */
+    bool transient = false;
 };
 
 /**
@@ -58,6 +65,15 @@ DatasetCacheStats datasetCacheStats();
 
 /** Drop every entry and zero the counters (tests, memory pressure). */
 void datasetCacheClear();
+
+/**
+ * How long a *failed* build is served from its negative entry before
+ * the next request retries the build (default 200 ms; 0 = every
+ * request after a failure retries). Applies to entries created after
+ * the call. Sweep retry backoff should exceed this so a retried row
+ * reaches the filesystem again instead of the stale negative entry.
+ */
+void datasetCacheSetNegativeTtlMs(std::uint64_t ms);
 
 } // namespace dalorex
 

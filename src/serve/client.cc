@@ -40,10 +40,25 @@ bool
 runViaSocket(const std::string& socketPath, const std::string& client,
              const std::vector<cli::Options>& points,
              std::vector<cli::RunOutcome>& outcomes, std::string& err,
-             const std::atomic<bool>* cancel)
+             const std::atomic<bool>* cancel,
+             const std::vector<char>* skip,
+             const std::function<void(std::size_t,
+                                      const cli::RunOutcome&)>& onRow)
 {
     outcomes.assign(points.size(), cli::RunOutcome{});
-    if (points.empty())
+    auto masked = [skip](std::size_t i) {
+        return skip != nullptr && i < skip->size() &&
+               (*skip)[i] != 0;
+    };
+    std::vector<bool> resolved(points.size(), false);
+    std::size_t remaining = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (masked(i))
+            resolved[i] = true; // the caller's journal owns this row
+        else
+            ++remaining;
+    }
+    if (remaining == 0)
         return true;
 
     const int fd = connectUnix(socketPath, err);
@@ -53,8 +68,10 @@ runViaSocket(const std::string& socketPath, const std::string& client,
     // Writer on its own thread: with every request written before
     // any response is read, a big grid could fill both socket
     // buffers and deadlock client and daemon against each other.
-    std::thread writer([&points, &client, fd] {
+    std::thread writer([&points, &client, fd, &masked] {
         for (std::size_t i = 0; i < points.size(); ++i) {
+            if (masked(i))
+                continue;
             const std::string line =
                 renderRunRequest(points[i], "p" + std::to_string(i),
                                  client) +
@@ -63,9 +80,6 @@ runViaSocket(const std::string& socketPath, const std::string& client,
                 return; // reader sees the broken socket too
         }
     });
-
-    std::vector<bool> resolved(points.size(), false);
-    std::size_t remaining = points.size();
     bool transportOk = true;
     bool interrupted = false;
     LineReader reader(fd);
@@ -105,9 +119,23 @@ runViaSocket(const std::string& socketPath, const std::string& client,
                                     outcome.report, perr)) {
                 outcome.ok = false;
                 outcome.error = perr;
+            } else if (outcome.report.stats.status !=
+                       RunStatus::completed) {
+                // The daemon unwound the run early (deadline, cancel)
+                // and answered with a partial-report result; that
+                // fails the row here exactly like a local unwind.
+                outcome.ok = false;
+                outcome.status = outcome.report.stats.status;
+                outcome.transient =
+                    outcome.status == RunStatus::timeout;
+                outcome.error =
+                    std::string(toString(outcome.status)) +
+                    ": daemon run unwound early";
             }
             resolved[row] = true;
             --remaining;
+            if (onRow)
+                onRow(row, outcome);
             continue;
         }
 
@@ -131,6 +159,8 @@ runViaSocket(const std::string& socketPath, const std::string& client,
                     : "daemon error";
             resolved[row] = true;
             --remaining;
+            if (onRow)
+                onRow(row, outcomes[row]);
         }
         // "accepted" lines carry no outcome; skip.
     }

@@ -17,6 +17,7 @@
 #define DALOREX_SERVE_CLIENT_HH
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,16 +32,27 @@ namespace serve
  * Submit every point to the daemon at `socketPath` under client name
  * `client` and collect per-point outcomes in expansion order. A row
  * the daemon answers with `error` fails only that row, exactly like
- * an in-process run. False with `err` on transport-level failures
+ * an in-process run; a `result` whose payload carries a non-completed
+ * status (a deadline expiry server-side) also fails its row, with the
+ * status as the error. False with `err` on transport-level failures
  * (no daemon, broken socket). A set `cancel` flag (SIGINT) stops
  * waiting; unresolved rows come back as failed with "interrupted".
+ *
+ * `skip` (may be null/short) masks rows the caller already resolved
+ * from its journal — they are neither submitted nor waited for.
+ * `onRow` (may be empty) fires from this thread as each submitted row
+ * resolves, in arrival order — the sweep journal appends from it.
  */
 bool runViaSocket(const std::string& socketPath,
                   const std::string& client,
                   const std::vector<cli::Options>& points,
                   std::vector<cli::RunOutcome>& outcomes,
                   std::string& err,
-                  const std::atomic<bool>* cancel = nullptr);
+                  const std::atomic<bool>* cancel = nullptr,
+                  const std::vector<char>* skip = nullptr,
+                  const std::function<void(std::size_t,
+                                           const cli::RunOutcome&)>&
+                      onRow = {});
 
 } // namespace serve
 } // namespace dalorex

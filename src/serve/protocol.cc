@@ -8,6 +8,7 @@
 #include "apps/kernels.hh"
 #include "energy/model.hh"
 #include "graph/datasets.hh"
+#include "graph/graphfile.hh"
 #include "serve/json.hh"
 
 namespace dalorex
@@ -159,6 +160,7 @@ constexpr const char* knownFields[] = {
     "engine_threads", "engine_scan",  "engine_barrier",
     "engine_rebalance", "params",
     "seed",           "validate",     "scratchpad_bytes",
+    "deadline_ms",
 };
 
 bool
@@ -181,9 +183,10 @@ parseRequestLine(const std::string& line)
     if (line.size() > maxRequestBytes) {
         r.id = scavengeId(line.substr(0, maxRequestBytes));
         return fail(std::move(parsed),
-                    "request line exceeds " +
-                        std::to_string(maxRequestBytes) + " bytes (" +
-                        std::to_string(line.size()) + ")");
+                    "request line of " + std::to_string(line.size()) +
+                        " bytes exceeds the " +
+                        std::to_string(maxRequestBytes) +
+                        "-byte limit");
     }
 
     const JsonParseResult json = parseJson(line);
@@ -377,6 +380,9 @@ parseRequestLine(const std::string& line)
         return fail(std::move(parsed), err);
     if (!boolField(object, "validate", false, o.validate, err))
         return fail(std::move(parsed), err);
+    if (!u64Field(object, "deadline_ms", 0, ~std::uint64_t(0), 0,
+                  o.deadlineMs, err))
+        return fail(std::move(parsed), err);
 
     // Mirror cli::parseArgs's ruche normalization so a request and
     // the equivalent argv produce the same MachineConfig.
@@ -431,8 +437,13 @@ renderRunRequest(const cli::Options& options, const std::string& id,
         out << ",\"params\":" << jsonQuote(params);
     }
     out << ",\"seed\":" << o.seed
-        << ",\"validate\":" << (o.validate ? "true" : "false")
-        << "}";
+        << ",\"validate\":" << (o.validate ? "true" : "false");
+    // Run-control knob, not scenario identity: emit only when set so
+    // journal point hashes (computed with deadlineMs zeroed) match the
+    // request bytes of an undeadlined submission.
+    if (o.deadlineMs > 0)
+        out << ",\"deadline_ms\":" << o.deadlineMs;
+    out << "}";
     return out.str();
 }
 
@@ -441,6 +452,15 @@ renderControlRequest(const std::string& type, const std::string& id)
 {
     return "{\"type\":" + jsonQuote(type) + ",\"id\":" +
            jsonQuote(id) + "}";
+}
+
+std::uint64_t
+pointHash(const cli::Options& options)
+{
+    cli::Options canonical = options;
+    canonical.deadlineMs = 0; // run control, not scenario identity
+    const std::string bytes = renderRunRequest(canonical, "", "");
+    return hashBytes(bytes.data(), bytes.size());
 }
 
 std::string
@@ -596,6 +616,20 @@ parseReportPayload(const std::string& payload,
                     s.activeRouterCyclesSaved);
         (void)u64At(*engine, "rebalances", s.engineRebalances);
         err.clear(); // engine counters are simulator-only; optional
+    }
+
+    // Older payloads predate the status field; absence means the run
+    // completed (the only status they could report).
+    if (const JsonValue* status = root.find("status");
+        status != nullptr && status->isString()) {
+        if (status->text == "timeout")
+            s.status = RunStatus::timeout;
+        else if (status->text == "cancelled")
+            s.status = RunStatus::cancelled;
+        else if (status->text == "deadlock")
+            s.status = RunStatus::deadlock;
+        else
+            s.status = RunStatus::completed;
     }
 
     if (const JsonValue* validated = root.find("validated");

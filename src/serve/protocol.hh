@@ -96,6 +96,16 @@ std::string renderRunRequest(const cli::Options& options,
 std::string renderControlRequest(const std::string& type,
                                  const std::string& id);
 
+/**
+ * Canonical scenario identity hash: the FNV-1a of the options'
+ * renderRunRequest bytes with empty id/client and run-control knobs
+ * (deadline_ms) zeroed. The sweep journal keys rows by it and the
+ * serve journal keys per-client results by it, so the same scenario
+ * hashes identically whether submitted locally, via socket, with or
+ * without a deadline.
+ */
+std::uint64_t pointHash(const cli::Options& options);
+
 // --- responses -------------------------------------------------------
 
 /** {"type":"accepted","id":...,"queued":N} */

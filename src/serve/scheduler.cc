@@ -31,6 +31,7 @@ FairScheduler::push(Job job)
         q.vtime = std::max(q.vtime, clock_);
     const std::uint64_t ahead = depth_;
     const int priority = job.request.priority;
+    job.enqueuedAt = std::chrono::steady_clock::now();
     q.pending[priority].push_back(std::move(job));
     ++q.queued;
     ++q.submitted;

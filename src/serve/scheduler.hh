@@ -21,6 +21,7 @@
 #ifndef DALOREX_SERVE_SCHEDULER_HH
 #define DALOREX_SERVE_SCHEDULER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,6 +43,11 @@ struct Job
     Request request;
     /** Server connection the responses go back to. */
     std::uint64_t connection = 0;
+    /** Stamped by push(). A request's deadline_ms counts from here —
+     *  the moment it was accepted — not from when a worker dequeues
+     *  it, so queueing delay spends the budget too and an expired job
+     *  answers promptly instead of running a full scenario first. */
+    std::chrono::steady_clock::time_point enqueuedAt{};
 };
 
 /** Snapshot of one client's accounting (for `stats` responses). */

@@ -122,6 +122,10 @@ readConnection(Server& server, SocketState& state, std::uint64_t conn,
         if (status == ReadStatus::interrupted &&
             !server.shutdownRequested() && !signalled.load())
             continue;
+        if (status == ReadStatus::overflow)
+            // Tell the peer how big its unterminated line got before
+            // cutting it loose, instead of a silent hangup.
+            server.rejectOversized(conn, reader.bufferedBytes());
         break; // EOF, broken pipe, buffer abuse, or shutdown
     }
     server.closeConnection(conn);
@@ -224,6 +228,21 @@ parseServeArgs(int argc, const char* const* argv)
                                         "[1, 256], got ") +
                             argv[i]);
             o.workers = workers;
+        } else if (flag == "--journal-dir") {
+            if (i + 1 >= argc)
+                return fail("--journal-dir needs a path");
+            o.journalDir = argv[++i];
+            if (o.journalDir.empty())
+                return fail("--journal-dir needs a non-empty path");
+        } else if (flag == "--retries") {
+            if (i + 1 >= argc)
+                return fail("--retries needs a value");
+            std::uint32_t retries = 0;
+            if (!cli::parseU32(argv[++i], 0, 16, retries))
+                return fail(std::string("--retries must be in "
+                                        "[0, 16], got ") +
+                            argv[i]);
+            o.retries = retries;
         } else {
             return fail("unknown option: " + flag + " (try --help)");
         }
@@ -252,6 +271,13 @@ serveUsageText()
         "                  removed on exit)\n"
         "  --workers N     concurrent run slots [1, 256] (default:\n"
         "                  host cores)\n"
+        "  --journal-dir D persist one result journal per client\n"
+        "                  under D; a restarted daemon answers\n"
+        "                  journaled scenarios from disk, so `sweep\n"
+        "                  --via` clients resume without recomputing\n"
+        "  --retries N     re-run transiently failing scenarios\n"
+        "                  (dataset file I/O) up to N extra times with\n"
+        "                  exponential backoff [0, 16] (default: 0)\n"
         "  --help          this text\n"
         "\n"
         "requests (one JSON object per line):\n"
@@ -308,6 +334,15 @@ serveMain(int argc, const char* const* argv, std::istream& in,
     const unsigned workers =
         o.workers > 0 ? o.workers : defaultWorkerThreads();
     Server server(workers);
+    if (o.retries > 0)
+        server.setRetries(o.retries);
+    if (!o.journalDir.empty()) {
+        std::string diag;
+        if (!server.enableJournal(o.journalDir, diag)) {
+            err << "dalorex serve: " << diag << "\n";
+            return 2;
+        }
+    }
     SignalGuard signals;
     return o.socketPath.empty()
                ? serveOnStreams(server, in, out)

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.hh"
 #include "serve/scheduler.hh"
 #include "sim/machine.hh"
 
@@ -84,6 +85,34 @@ class Server
     /** The `stats` response line for request `id`. */
     std::string statsLine(const std::string& id) const;
 
+    /**
+     * Retry transiently failing runs (dataset-file I/O) up to
+     * `retries` extra times, sleeping backoffMs << attempt between
+     * tries, before the error is answered. Deadline expiries are never
+     * retried — their budget is already spent.
+     */
+    void setRetries(unsigned retries, std::uint64_t backoffMs = 250);
+
+    /**
+     * Persist a per-client result journal under `dir` (created if
+     * missing): every completed run request appends its verbatim
+     * report payload keyed by the scenario's pointHash(), and a
+     * request whose scenario is already journaled for that client is
+     * answered from the journal without re-running — which is how a
+     * restarted daemon resumes a `--via SOCKET` sweep. False with a
+     * one-line `err` when the directory cannot be created.
+     */
+    bool enableJournal(const std::string& dir, std::string& err);
+
+    /**
+     * Answer a line the transport refused to buffer (an unterminated
+     * line past the hard cap) with the standard oversized-line error,
+     * naming the observed byte count, before the caller drops the
+     * peer. No request id was parseable, so the error carries none.
+     */
+    void rejectOversized(std::uint64_t connection,
+                         std::size_t observedBytes);
+
     unsigned workers() const { return workers_; }
 
   private:
@@ -100,6 +129,28 @@ class Server
     /** Crew-member body: pop + execute until closed and drained. */
     void workerLoop(unsigned member);
 
+    /** One client's durable results (journalMutex_ held). */
+    struct ClientJournal
+    {
+        journal::Writer writer;
+        /** pointHash -> verbatim report payload (no newline). */
+        std::map<std::uint64_t, std::string> payloads;
+        std::uint64_t nextRow = 0;
+    };
+
+    /** The client's journal, loading/creating it on first use.
+     *  journalMutex_ must be held; never null once journaling is on. */
+    ClientJournal* clientJournal(const std::string& client);
+
+    /** Answer from the client's journal if the scenario is recorded.
+     *  True when a result line was sent. */
+    bool replayFromJournal(const Job& job, std::uint64_t point);
+
+    /** Record a completed run in the client's journal. */
+    void recordInJournal(const std::string& client,
+                         std::uint64_t point,
+                         const std::string& payload);
+
     const unsigned workers_;
     const std::chrono::steady_clock::time_point start_;
     FairScheduler scheduler_;
@@ -112,10 +163,26 @@ class Server
     /** Per-crew-member engine allocation pools (index = member). */
     std::vector<EngineArenas> arenas_;
 
+    /** Serve-side retry policy (set before serve() starts). */
+    unsigned retries_ = 0;
+    std::uint64_t backoffMs_ = 250;
+
+    /** Journal root; empty = journaling off (set before serve()). */
+    std::string journalDir_;
+    std::mutex journalMutex_;
+    std::map<std::string, std::unique_ptr<ClientJournal>> journals_;
+
     mutable std::mutex statsMutex_;
     std::uint64_t rejected_ = 0;  //!< lines answered with `error`
     std::uint64_t completed_ = 0; //!< runs that produced a `result`
     std::uint64_t failed_ = 0;    //!< runs that produced an `error`
+    // Fault-layer counters (the stats `fault` object).
+    std::uint64_t timeouts_ = 0;      //!< deadline-expired results
+    std::uint64_t cancellations_ = 0; //!< cancelled-run results
+    std::uint64_t retriedRuns_ = 0;   //!< extra attempts performed
+    std::uint64_t quarantined_ = 0;   //!< permanent failures answered
+    std::uint64_t journalWritten_ = 0;
+    std::uint64_t journalReplayed_ = 0;
     std::map<std::string, std::uint64_t> completedPerClient_;
 };
 

@@ -123,7 +123,7 @@ LineReader::readLine(std::string& out)
             return ReadStatus::line;
         }
         if (buffer_.size() > maxBufferedBytes)
-            return ReadStatus::error;
+            return ReadStatus::overflow;
 
         char chunk[4096];
         const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);

@@ -40,7 +40,12 @@ enum class ReadStatus
     line,        //!< `out` holds one line (newline stripped)
     eof,         //!< peer closed; no partial line pending
     interrupted, //!< a signal arrived before any data
-    error,       //!< connection broken or the line cap exceeded
+    error,       //!< connection broken
+    /** The unterminated line outgrew the hard memory cap. The daemon
+     *  answers with an error naming the observed byte count (see
+     *  Server::rejectOversized) before dropping the peer, instead of
+     *  silently hanging up. bufferedBytes() says how far it got. */
+    overflow,
 };
 
 /**
@@ -56,6 +61,10 @@ class LineReader
     explicit LineReader(int fd) : fd_(fd) {}
 
     ReadStatus readLine(std::string& out);
+
+    /** Bytes currently buffered (the oversized-line count after an
+     *  `overflow` status). */
+    std::size_t bufferedBytes() const { return buffer_.size(); }
 
   private:
     int fd_;

@@ -662,6 +662,12 @@ Machine::tilePhase(unsigned shard_index, Cycle now)
 RunStats
 Machine::run(App& app)
 {
+    return run(app, nullptr);
+}
+
+RunStats
+Machine::run(App& app, const RunControl* control)
+{
     panic_if(ran_, "Machine::run is one-shot; build a new Machine");
     ran_ = true;
 
@@ -771,16 +777,50 @@ Machine::run(App& app)
             ++stats_.epochs;
             lastProgress_ = now_;
         } else {
-            panic_if(now_ - lastProgress_ > config_.watchdogCycles,
-                     "no progress for ", config_.watchdogCycles,
-                     " cycles at cycle ", now_,
-                     ": pendingIq=", pendingIq_,
-                     " pendingCq=", pendingCq_,
-                     " inFlight=", network_->inFlight(),
-                     " — deadlock?");
-            panic_if(config_.maxCycles != 0 &&
-                         now_ > config_.maxCycles,
-                     "exceeded maxCycles = ", config_.maxCycles);
+            // Cooperative unwind points: a set cancel/expired flag or
+            // a tripped cycle watchdog ends the run at this cycle
+            // boundary with a status instead of killing the process.
+            // Every worker is parked in the tail barrier here, so the
+            // crew exits the SPMD loop together and the partial stats
+            // are exactly the state after `now_` committed cycles.
+            if (control != nullptr && control->cancel != nullptr &&
+                control->cancel->load(std::memory_order_relaxed)) {
+                stats_.status = RunStatus::cancelled;
+                stats_.statusDetail =
+                    "cancelled at cycle " + std::to_string(now_);
+                ctl.done = true;
+                return;
+            }
+            if (control != nullptr &&
+                control->expired.load(std::memory_order_relaxed)) {
+                stats_.status = RunStatus::timeout;
+                stats_.statusDetail =
+                    "wall-clock deadline expired at cycle " +
+                    std::to_string(now_);
+                ctl.done = true;
+                return;
+            }
+            if (now_ - lastProgress_ > config_.watchdogCycles) {
+                stats_.status = RunStatus::deadlock;
+                stats_.statusDetail =
+                    "no progress for " +
+                    std::to_string(config_.watchdogCycles) +
+                    " cycles at cycle " + std::to_string(now_) +
+                    ": pendingIq=" + std::to_string(pendingIq_) +
+                    " pendingCq=" + std::to_string(pendingCq_) +
+                    " inFlight=" +
+                    std::to_string(network_->inFlight());
+                ctl.done = true;
+                return;
+            }
+            if (config_.maxCycles != 0 && now_ > config_.maxCycles) {
+                stats_.status = RunStatus::timeout;
+                stats_.statusDetail =
+                    "exceeded maxCycles = " +
+                    std::to_string(config_.maxCycles);
+                ctl.done = true;
+                return;
+            }
 
             // Exactness-preserving fast-forward: if this cycle had no
             // activity and the network is empty, nothing can happen
@@ -830,7 +870,11 @@ Machine::run(App& app)
         }
     });
 
-    stats_.cycles = now_ + idle_latency;
+    // A completed run pays the idle-tree detection latency; an early
+    // unwind reports exactly the committed cycle count.
+    stats_.cycles = stats_.status == RunStatus::completed
+                        ? now_ + idle_latency
+                        : now_;
     stats_.invocationsPerTask.assign(taskDefs_.size(), 0);
     stats_.puBusyPerTile.resize(tiles_.size());
     for (TileId t = 0; t < tiles_.size(); ++t) {

@@ -41,9 +41,11 @@
 #ifndef DALOREX_SIM_MACHINE_HH
 #define DALOREX_SIM_MACHINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -113,9 +115,11 @@ struct MachineConfig
      * engineThreads) pair always rebalances identically.
      */
     bool engineRebalance = false;
-    /** Abort if this many cycles pass without progress (deadlock). */
+    /** End the run with RunStatus::deadlock if this many cycles pass
+     *  without progress (a kernel bug; used to panic the process). */
     Cycle watchdogCycles = 1'000'000;
-    /** Hard cycle limit (0 = none); panic when exceeded. */
+    /** Hard cycle limit (0 = none); exceeding it ends the run with
+     *  RunStatus::timeout instead of killing the process. */
     Cycle maxCycles = 0;
     /**
      * Fabrication-time scratchpad capacity per tile in bytes; 0 sizes
@@ -129,9 +133,32 @@ struct MachineConfig
     std::uint32_t numTiles() const { return width * height; }
 };
 
+/**
+ * Cooperative run control for Machine::run. The engine polls it once
+ * per cycle in the serial tail of the phase barrier, so a set flag
+ * unwinds the whole SPMD crew deterministically at the next cycle
+ * boundary — stats stay internally consistent up to the cycle the run
+ * stopped — instead of the process being SIGKILLed. `cancel` is an
+ * optional external flag (a SIGINT handler, a sweep-wide interrupt);
+ * `expired` is set by a DeadlineWatchdog when the run's wall-clock
+ * budget lapses and yields RunStatus::timeout.
+ */
+struct RunControl
+{
+    const std::atomic<bool>* cancel = nullptr;
+    std::atomic<bool> expired{false};
+};
+
 /** Everything measured during one run (energy model input). */
 struct RunStats
 {
+    /** How the run ended (completed unless RunControl / the cycle
+     *  watchdogs stopped it early; see RunStatus). */
+    RunStatus status = RunStatus::completed;
+    /** One-line diagnostic for a non-completed status ("" otherwise),
+     *  e.g. the deadlock watchdog's pending-work counters. */
+    std::string statusDetail;
+
     Cycle cycles = 0;             //!< total runtime incl. idle detect
     std::uint32_t epochs = 1;     //!< barrier mode: epochs executed
     std::uint64_t invocations = 0;
@@ -389,6 +416,13 @@ class Machine
     // --- run -------------------------------------------------------
     /** Execute the app to completion; callable once per Machine. */
     RunStats run(App& app);
+    /**
+     * Same, under cooperative control: `control` (may be nullptr) is
+     * polled in the per-cycle serial section, so cancellation or a
+     * watchdog-expired deadline unwinds the run at a cycle boundary
+     * with RunStats::status reporting why (see RunControl).
+     */
+    RunStats run(App& app, const RunControl* control);
 
 #if DALOREX_OWNERSHIP_CHECKS
     /**

@@ -1,11 +1,48 @@
 #include "sweep/sweep.hh"
 
+#include <chrono>
+#include <thread>
+
+#include "common/parallel.hh"
+#include "graph/graphfile.hh"
 #include "sweep/pool.hh"
 
 namespace dalorex
 {
 namespace sweep
 {
+namespace
+{
+
+/** Deterministic backoff jitter: a hash of (seed, row, attempt), so
+ *  reruns of the same sweep sleep identically (determinism extends to
+ *  the fault path) while distinct rows still decorrelate. */
+std::uint64_t
+jitterMs(std::uint64_t seed, std::uint64_t row, unsigned attempt,
+         std::uint64_t window)
+{
+    if (window == 0)
+        return 0;
+    const std::uint64_t words[3] = {seed, row, attempt};
+    return hashBytes(words, sizeof words) % window;
+}
+
+/** Sleep that notices cancellation: a retry backoff must not hold a
+ *  Ctrl-C'd sweep hostage for seconds. */
+void
+backoffSleep(std::uint64_t ms, const std::atomic<bool>* cancel)
+{
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < until) {
+        if (cancel != nullptr && cancel->load())
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::uint64_t>(ms, 10)));
+    }
+}
+
+} // namespace
 
 RunResult
 run(const Plan& plan, unsigned threads)
@@ -16,12 +53,22 @@ run(const Plan& plan, unsigned threads)
 RunResult
 run(const ExpandResult& expanded, unsigned threads)
 {
-    return run(expanded, threads, nullptr);
+    return run(expanded, threads,
+               static_cast<const std::atomic<bool>*>(nullptr));
 }
 
 RunResult
 run(const ExpandResult& expanded, unsigned threads,
     const std::atomic<bool>* cancel)
+{
+    RunPolicy policy;
+    policy.cancel = cancel;
+    return run(expanded, threads, policy);
+}
+
+RunResult
+run(const ExpandResult& expanded, unsigned threads,
+    const RunPolicy& policy)
 {
     RunResult result;
     if (!expanded.ok) {
@@ -31,13 +78,57 @@ run(const ExpandResult& expanded, unsigned threads,
     }
     result.baseline = expanded.baseline;
     result.outcomes.resize(expanded.points.size());
+    const std::atomic<bool>* cancel = policy.cancel;
     runIndexed(expanded.points.size(), threads, [&](std::size_t i) {
+        if (i < policy.skip.size() && policy.skip[i] != 0)
+            return; // resolved by the caller's journal replay
+        cli::RunOutcome& outcome = result.outcomes[i];
         if (cancel != nullptr && cancel->load()) {
-            result.outcomes[i].ok = false;
-            result.outcomes[i].error = "interrupted";
+            outcome.ok = false;
+            outcome.error = "interrupted";
+            outcome.status = RunStatus::cancelled;
+            if (policy.onRow)
+                policy.onRow(i, outcome, 0);
             return;
         }
-        result.outcomes[i] = cli::runScenario(expanded.points[i]);
+
+        cli::Options options = expanded.points[i];
+        options.deadlineMs = 0; // the policy watchdog owns expiry
+        unsigned attempts = 0;
+        for (;;) {
+            ++attempts;
+            RunControl control;
+            control.cancel = cancel;
+            std::uint64_t token = 0;
+            if (policy.rowDeadlineMs > 0)
+                token = processDeadlineWatchdog().arm(
+                    std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            policy.rowDeadlineMs),
+                    &control.expired);
+            outcome = cli::runScenario(options, nullptr, &control);
+            if (token != 0)
+                processDeadlineWatchdog().disarm(token);
+            const bool cancelled =
+                outcome.status == RunStatus::cancelled ||
+                (cancel != nullptr && cancel->load());
+            if (outcome.ok || !outcome.transient || cancelled ||
+                attempts > policy.retries)
+                break;
+            const std::uint64_t base = policy.backoffMs
+                                       << std::min(attempts - 1, 16u);
+            backoffSleep(base + jitterMs(policy.seed, i, attempts,
+                                         base / 2 + 1),
+                         cancel);
+            if (cancel != nullptr && cancel->load()) {
+                outcome.ok = false;
+                outcome.error = "interrupted";
+                outcome.status = RunStatus::cancelled;
+                break;
+            }
+        }
+        if (policy.onRow)
+            policy.onRow(i, outcome, attempts);
     });
     return result;
 }

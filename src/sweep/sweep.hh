@@ -14,6 +14,8 @@
 #define DALOREX_SWEEP_SWEEP_HH
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -59,12 +61,56 @@ RunResult run(const ExpandResult& expanded, unsigned threads);
 /**
  * Same, with cooperative cancellation: once `*cancel` is true (a
  * SIGINT handler sets it), points not yet started fail their own row
- * with "interrupted" instead of running, while in-flight points
- * finish normally — the caller flushes the completed rows as partial
- * output. nullptr behaves like the overload above.
+ * with "interrupted" instead of running, while in-flight points are
+ * unwound by the engine at the next cycle boundary — the caller
+ * flushes the completed rows as partial output. nullptr behaves like
+ * the overload above.
  */
 RunResult run(const ExpandResult& expanded, unsigned threads,
               const std::atomic<bool>* cancel);
+
+/**
+ * Fault policy for one sweep execution: cancellation, per-row
+ * deadlines, retry/backoff for transient failures, resume skip mask
+ * and a per-row completion hook (the journal writer).
+ */
+struct RunPolicy
+{
+    /** Cooperative cancel flag (SIGINT); also polled mid-run by the
+     *  engine's serial tail, so in-flight rows unwind promptly. */
+    const std::atomic<bool>* cancel = nullptr;
+    /** Extra attempts for a row whose failure is transient (dataset
+     *  file I/O, deadline expiry). 0 = fail on first error. */
+    unsigned retries = 0;
+    /** Backoff before attempt k (1-based retry): backoffMs << (k-1)
+     *  plus a deterministic jitter derived from (seed, row, k). Keep
+     *  it above the dataset cache's negative-entry TTL so a retry
+     *  reaches the filesystem, not the cached failure. */
+    std::uint64_t backoffMs = 250;
+    std::uint64_t seed = 1; //!< jitter seed (determinism, not entropy)
+    /** Per-row wall-clock budget; an expired row unwinds with
+     *  RunStatus::timeout (0 = none). Counted per attempt. */
+    std::uint64_t rowDeadlineMs = 0;
+    /** Resume mask: skip[i] true = row i is already resolved and must
+     *  not run (the caller prefills outcomes[i]). Empty = run all. */
+    std::vector<char> skip;
+    /** Called from the worker thread right after row `row` resolves
+     *  (any status, but not for skip-masked rows); `attempts` counts
+     *  runs performed including retries. Must be thread-safe. */
+    std::function<void(std::size_t row, const cli::RunOutcome& outcome,
+                       unsigned attempts)>
+        onRow;
+};
+
+/**
+ * Run under a fault policy. Skip-masked rows are never executed and
+ * onRow is not called for them; their outcome slots come back
+ * default-constructed for the caller to overwrite with its replayed
+ * journal records, which is what makes a resumed sweep aggregate
+ * byte-identically to an uninterrupted one.
+ */
+RunResult run(const ExpandResult& expanded, unsigned threads,
+              const RunPolicy& policy);
 
 } // namespace sweep
 } // namespace dalorex

@@ -7,11 +7,14 @@
 #include <ostream>
 #include <vector>
 
+#include "common/journal.hh"
 #include "common/logging.hh"
 #include "common/text.hh"
 #include "graph/dataset_cache.hh"
 #include "graph/datasets.hh"
+#include "graph/graphfile.hh"
 #include "serve/client.hh"
+#include "serve/protocol.hh"
 #include "sweep/aggregate.hh"
 #include "sweep/pool.hh"
 #include "sweep/sweep.hh"
@@ -112,6 +115,8 @@ parseSweepArgs(int argc, const char* const* argv)
             "--pagerank-iters", "--param",  "--engine-threads",
             "--engine-scan", "--engine-barrier", "--threads",
             "--csv", "--jsonl", "--via",
+            "--journal", "--resume", "--retries",
+            "--retry-backoff-ms", "--row-deadline-ms",
         };
         return std::find(valued.begin(), valued.end(), flag) !=
                valued.end();
@@ -296,6 +301,28 @@ parseSweepArgs(int argc, const char* const* argv)
             if (value.empty() || value.rfind("--", 0) == 0)
                 return fail("--jsonl needs a file path");
             o.jsonlPath = value;
+        } else if (flag == "--journal") {
+            if (value.empty() || value.rfind("--", 0) == 0)
+                return fail("--journal needs a file path");
+            o.journalPath = value;
+        } else if (flag == "--resume") {
+            if (value.empty() || value.rfind("--", 0) == 0)
+                return fail("--resume needs a journal file path");
+            o.resumePath = value;
+        } else if (flag == "--retries") {
+            std::uint32_t retries = 0;
+            if (!cli::parseU32(value, 0, 16, retries))
+                return fail("--retries must be in [0, 16], got " +
+                            value);
+            o.retries = retries;
+        } else if (flag == "--retry-backoff-ms") {
+            if (!cli::parseU64(value, o.retryBackoffMs))
+                return fail("--retry-backoff-ms must be an integer, "
+                            "got " + value);
+        } else if (flag == "--row-deadline-ms") {
+            if (!cli::parseU64(value, o.rowDeadlineMs))
+                return fail("--row-deadline-ms must be an integer, "
+                            "got " + value);
         } else if (flag == "--json") {
             o.json = true;
         } else if (flag == "--quick") {
@@ -411,6 +438,26 @@ sweepUsageText()
         "                        (output is byte-identical)\n"
         "  --csv PATH            write the aggregate table as CSV\n"
         "  --jsonl PATH          write one JSON object per row\n"
+        "\n"
+        "fault tolerance:\n"
+        "  --journal PATH        append one checksummed record per\n"
+        "                        row as it resolves; a killed sweep\n"
+        "                        resumes from it\n"
+        "  --resume PATH         replay a journal from an earlier run\n"
+        "                        of the same plan: completed rows are\n"
+        "                        not re-run and the merged output is\n"
+        "                        byte-identical to an uninterrupted\n"
+        "                        sweep\n"
+        "  --retries N           re-run transiently failing rows\n"
+        "                        (dataset I/O, timeouts) up to N\n"
+        "                        extra times [0, 16] (default 0)\n"
+        "  --retry-backoff-ms M  base backoff before a retry, doubled\n"
+        "                        per attempt with deterministic\n"
+        "                        jitter (default 250)\n"
+        "  --row-deadline-ms M   wall-clock budget per row; expired\n"
+        "                        rows fail with status timeout\n"
+        "                        instead of hanging the sweep\n"
+        "                        (default: none)\n"
         "  --json                print JSON-lines to stdout instead"
         " of the table\n"
         "  --list-datasets       list the dataset names and exit\n"
@@ -468,6 +515,126 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         }
     }
 
+    // Scenario identity: one hash per row over its canonical request
+    // bytes and a plan hash over all of them. Journals bind to both,
+    // so a record can never replay into a different plan or row.
+    std::vector<std::uint64_t> point_hashes;
+    point_hashes.reserve(expanded.points.size());
+    for (const cli::Options& point : expanded.points)
+        point_hashes.push_back(serve::pointHash(point));
+    const std::uint64_t plan_hash =
+        hashBytes(point_hashes.data(),
+                  point_hashes.size() * sizeof(std::uint64_t));
+
+    // --resume: replay the journal; rows whose record verifies are
+    // masked off the run and their outcomes rebuilt through the same
+    // parseReportPayload path `--via` uses, so the merged output is
+    // byte-identical to an uninterrupted sweep.
+    std::vector<char> skip(expanded.points.size(), 0);
+    std::vector<cli::RunOutcome> replayed_outcomes(
+        expanded.points.size());
+    std::vector<journal::Record> replayed_records(
+        expanded.points.size());
+    std::uint64_t rows_replayed = 0;
+    if (!o.resumePath.empty()) {
+        const journal::Replay rep = journal::replay(o.resumePath);
+        if (!rep.ok) {
+            err << "dalorex sweep: " << rep.error << "\n";
+            return 2;
+        }
+        if (rep.planHash != plan_hash ||
+            rep.points != expanded.points.size()) {
+            err << "dalorex sweep: journal " << o.resumePath
+                << " records a different plan; refusing to resume\n";
+            return 2;
+        }
+        for (const journal::Record& record : rep.records) {
+            if (record.row >= expanded.points.size() ||
+                record.pointHash != point_hashes[record.row])
+                continue; // stale record; run the row
+            cli::RunOutcome outcome;
+            bool resolved = false;
+            if (record.status == journal::RowStatus::ok) {
+                std::string perr;
+                resolved = serve::parseReportPayload(
+                    record.payload, expanded.points[record.row],
+                    outcome.report, perr);
+            } else if (record.status ==
+                       journal::RowStatus::quarantined) {
+                // Permanent failures replay their error; transient
+                // (`failed`) and interrupted (`skipped`) rows re-run.
+                outcome.ok = false;
+                outcome.error = record.error;
+                resolved = true;
+            }
+            if (resolved) {
+                skip[record.row] = 1;
+                replayed_outcomes[record.row] = std::move(outcome);
+                replayed_records[record.row] = record;
+            } else {
+                skip[record.row] = 0; // last record wins
+            }
+        }
+        for (const char s : skip)
+            rows_replayed += s != 0 ? 1 : 0;
+        err << "[sweep] resumed " << rows_replayed << " of "
+            << expanded.points.size() << " rows from "
+            << o.resumePath;
+        if (rep.corrupt > 0)
+            err << " (" << rep.corrupt << " damaged line"
+                << (rep.corrupt == 1 ? "" : "s") << " dropped)";
+        err << "\n";
+    }
+
+    journal::Writer journal_writer;
+    if (!o.journalPath.empty()) {
+        std::string jerr;
+        if (!journal_writer.open(o.journalPath, plan_hash,
+                                 expanded.points.size(), jerr)) {
+            err << "dalorex sweep: " << jerr << "\n";
+            return 2;
+        }
+        // Journaling to a new file: carry the replayed rows forward
+        // so the new journal alone resumes the remainder.
+        if (o.journalPath != o.resumePath)
+            for (std::size_t i = 0; i < replayed_records.size(); ++i)
+                if (skip[i] != 0)
+                    journal_writer.append(replayed_records[i]);
+    }
+
+    std::atomic<std::uint64_t> retried_rows{0};
+    auto classify = [](const cli::RunOutcome& outcome) {
+        if (outcome.ok)
+            return journal::RowStatus::ok;
+        if (outcome.status == RunStatus::cancelled ||
+            outcome.error == "interrupted")
+            return journal::RowStatus::skipped;
+        return outcome.transient ? journal::RowStatus::failed
+                                 : journal::RowStatus::quarantined;
+    };
+    auto record_row = [&](std::size_t row,
+                          const cli::RunOutcome& outcome,
+                          unsigned attempts) {
+        if (attempts > 1)
+            retried_rows.fetch_add(attempts - 1);
+        if (!journal_writer.isOpen())
+            return;
+        journal::Record record;
+        record.row = row;
+        record.pointHash = point_hashes[row];
+        record.status = classify(outcome);
+        record.attempts = std::max(1u, attempts);
+        if (record.status == journal::RowStatus::ok) {
+            record.payload = cli::renderJson(outcome.report);
+            while (!record.payload.empty() &&
+                   record.payload.back() == '\n')
+                record.payload.pop_back();
+        } else {
+            record.error = outcome.error;
+        }
+        journal_writer.append(record);
+    };
+
     // SIGINT during the run phase degrades to a partial sweep: rows
     // already completed still aggregate, flush and report below with
     // exit code 130, instead of dropping everything on the floor.
@@ -477,13 +644,22 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
     if (!o.via.empty()) {
         // Client mode: the daemon executes the points; its warm
         // dataset cache and resident crew replace the local pool.
-        err << "[sweep] submitting " << expanded.points.size()
+        err << "[sweep] submitting "
+            << expanded.points.size() - rows_replayed
             << " scenario points to the daemon at " << o.via << "\n";
         run_result.baseline = expanded.baseline;
+        std::vector<cli::Options> points = expanded.points;
+        if (o.rowDeadlineMs > 0)
+            for (cli::Options& point : points)
+                point.deadlineMs = o.rowDeadlineMs;
         std::string via_error;
-        if (!serve::runViaSocket(o.via, "sweep", expanded.points,
-                                 run_result.outcomes, via_error,
-                                 &interrupted)) {
+        if (!serve::runViaSocket(
+                o.via, "sweep", points, run_result.outcomes,
+                via_error, &interrupted, &skip,
+                [&record_row](std::size_t row,
+                              const cli::RunOutcome& outcome) {
+                    record_row(row, outcome, 1);
+                })) {
             err << "dalorex sweep: " << via_error << "\n";
             return 2;
         }
@@ -520,12 +696,26 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
                 << " engine threads (budget " << budget << ")";
         err << "\n";
 
-        run_result = run(expanded, threads, &interrupted);
+        RunPolicy policy;
+        policy.cancel = &interrupted;
+        policy.retries = o.retries;
+        policy.backoffMs = o.retryBackoffMs;
+        policy.seed = o.plan.seed;
+        policy.rowDeadlineMs = o.rowDeadlineMs;
+        policy.skip = skip;
+        policy.onRow = record_row;
+        run_result = run(expanded, threads, policy);
     }
     if (!run_result.ok) {
         err << "dalorex sweep: " << run_result.error << "\n";
         return 2;
     }
+    // Replayed rows come back from the journal, not the run.
+    for (std::size_t i = 0; i < skip.size() &&
+                            i < run_result.outcomes.size();
+         ++i)
+        if (skip[i] != 0)
+            run_result.outcomes[i] = replayed_outcomes[i];
     const bool was_interrupted = interrupted.load();
 
     // A failed point fails only its own row: report it, render the
@@ -534,14 +724,24 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
     // interrupt skipped are summarized in one line, not per row.
     std::vector<std::string> row_errors;
     std::size_t skipped = 0;
-    for (const std::string& line : run_result.rowErrors()) {
+    std::size_t quarantined = 0;
+    for (std::size_t i = 0; i < run_result.outcomes.size(); ++i) {
+        const cli::RunOutcome& outcome = run_result.outcomes[i];
+        if (outcome.ok)
+            continue;
         if (was_interrupted &&
-            line.rfind(": interrupted") ==
-                line.size() - std::string(": interrupted").size()) {
+            (outcome.status == RunStatus::cancelled ||
+             outcome.error == "interrupted")) {
             ++skipped;
             continue;
         }
-        row_errors.push_back(line);
+        if (!outcome.transient &&
+            outcome.status == RunStatus::completed)
+            ++quarantined;
+        row_errors.push_back(
+            "point " + std::to_string(i + 1) + "/" +
+            std::to_string(run_result.outcomes.size()) + ": " +
+            outcome.error);
     }
     for (const std::string& line : row_errors)
         err << "dalorex sweep: " << line << "\n";
@@ -565,6 +765,11 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         ",\"rows_ok\":" + std::to_string(agg.rows.size()) +
         ",\"rows_failed\":" + std::to_string(row_errors.size()) +
         ",\"rows_skipped\":" + std::to_string(skipped) +
+        ",\"rows_quarantined\":" + std::to_string(quarantined) +
+        ",\"rows_replayed\":" + std::to_string(rows_replayed) +
+        ",\"retries\":" + std::to_string(retried_rows.load()) +
+        ",\"journal_written\":" +
+        std::to_string(journal_writer.written()) +
         ",\"dataset_cache_builds\":" +
         std::to_string(cache_before.builds <= cache_after.builds
                            ? cache_after.builds - cache_before.builds
@@ -586,7 +791,12 @@ sweepMain(int argc, const char* const* argv, std::ostream& out,
         std::ofstream file(o.jsonlPath);
         fatal_if(!file, "cannot open JSONL output file: ",
                  o.jsonlPath);
-        file << toJsonl(agg.rows) << summary;
+        // Rows only, no summary trailer: the summary's cache deltas
+        // and replay counters depend on process history, and the
+        // file's contract is byte-identity — a resumed sweep's JSONL
+        // must diff clean against the uninterrupted run's. The
+        // summary still closes the stdout stream under --json.
+        file << toJsonl(agg.rows);
         fatal_if(!file, "error writing JSONL output file: ",
                  o.jsonlPath);
     }

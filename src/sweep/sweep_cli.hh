@@ -11,6 +11,7 @@
 #ifndef DALOREX_SWEEP_SWEEP_CLI_HH
 #define DALOREX_SWEEP_SWEEP_CLI_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -32,6 +33,22 @@ struct SweepOptions
     std::string via;
     std::string csvPath;   //!< write aggregate CSV here ("" = off)
     std::string jsonlPath; //!< write JSONL rows here ("" = off)
+    /** `--journal PATH`: append a checksummed record per row as it
+     *  resolves, so a killed sweep can resume ("" = off). */
+    std::string journalPath;
+    /** `--resume PATH`: replay a journal from an earlier (killed or
+     *  partial) run of the *same plan*; verified-complete rows are
+     *  not re-run and the merged output is byte-identical to an
+     *  uninterrupted sweep ("" = off). */
+    std::string resumePath;
+    /** Extra attempts per transiently failing row (I/O, timeout). */
+    unsigned retries = 0;
+    /** Base backoff before a retry; doubles per attempt. Keep above
+     *  the dataset cache's negative-entry TTL (200 ms). */
+    std::uint64_t retryBackoffMs = 250;
+    /** Per-row wall-clock budget; expired rows fail with status
+     *  timeout instead of hanging the sweep (0 = none). */
+    std::uint64_t rowDeadlineMs = 0;
     bool json = false;     //!< print JSONL to stdout, not the table
     bool quick = true;     //!< stand-in scale for named datasets
     bool help = false;

@@ -333,6 +333,57 @@ TEST(CliMain, JsonReportHasStatsAndEnergy)
     EXPECT_NE(out.find("\"validated\":true"), std::string::npos);
 }
 
+TEST(CliParse, DeadlineAndMaxCyclesFlags)
+{
+    const ParseResult r =
+        parse({"--deadline-ms", "1500", "--max-cycles", "5000"});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.options.deadlineMs, 1500u);
+    EXPECT_EQ(r.options.machine.maxCycles, 5000u);
+    EXPECT_FALSE(parse({"--deadline-ms", "soon"}).ok);
+    EXPECT_FALSE(parse({"--max-cycles", "-1"}).ok);
+}
+
+TEST(CliMain, CompletedRunReportsCompletedStatus)
+{
+    std::string out;
+    std::string err;
+    const int code = runCli({"--kernel", "bfs", "--scale", "8",
+                             "--json"},
+                            out, err);
+    EXPECT_EQ(code, 0) << err;
+    EXPECT_NE(out.find("\"status\":\"completed\""),
+              std::string::npos);
+}
+
+TEST(CliMain, MaxCyclesBudgetExitsThreeWithPartialTimeoutReport)
+{
+    std::string out;
+    std::string err;
+    const int code = runCli({"--kernel", "bfs", "--scale", "8",
+                             "--max-cycles", "10", "--json"},
+                            out, err);
+    EXPECT_EQ(code, 3) << err;
+    // The partial report still prints, carrying the status.
+    EXPECT_NE(out.find("\"status\":\"timeout\""), std::string::npos);
+    EXPECT_NE(err.find("maxCycles"), std::string::npos);
+}
+
+TEST(CliMain, ExpiredDeadlineExitsThreeWithTimeoutStatus)
+{
+    // A scale-13 pagerank takes far longer than 1 ms of wall clock,
+    // so the watchdog reliably trips mid-run.
+    std::string out;
+    std::string err;
+    const int code =
+        runCli({"--kernel", "pagerank", "--scale", "13",
+                "--deadline-ms", "1", "--json"},
+               out, err);
+    EXPECT_EQ(code, 3) << err;
+    EXPECT_NE(out.find("\"status\":\"timeout\""), std::string::npos);
+    EXPECT_NE(err.find("deadline"), std::string::npos);
+}
+
 TEST(CliMain, ParamOverrideDrivesPageRankEpochs)
 {
     std::string out;

@@ -496,6 +496,57 @@ TEST(DatasetCache, CachesFailuresToo)
     datasetCacheClear();
 }
 
+TEST(DatasetCache, NegativeEntryExpiresAndHealsAfterRetry)
+{
+    // The fault-tolerance contract: a file: load that fails once is
+    // not poisoned forever. Once the negative entry's TTL lapses, the
+    // next request retries the filesystem and succeeds if the file
+    // has appeared in the meantime (e.g. an NFS blip, or a dataset
+    // staged by another job).
+    datasetCacheClear();
+    datasetCacheSetNegativeTtlMs(0); // expire immediately
+    const std::string path = tmpPath("cache_heal.dlx");
+    std::remove(path.c_str());
+    const std::string name = "file:" + path;
+
+    const CachedDataset miss = datasetCacheGet(name, 0, 1);
+    ASSERT_FALSE(miss.ok);
+    EXPECT_TRUE(miss.transient) << "file I/O failures are transient";
+
+    // Stage the file and ask again: with TTL 0 the negative entry is
+    // already stale, so this retries the load instead of replaying
+    // the cached failure.
+    {
+        const DatasetResult built = tryMakeDataset("rmat6", 1);
+        ASSERT_TRUE(built.ok) << built.error;
+        std::string error;
+        ASSERT_TRUE(saveGraphFile(path, built.dataset, error))
+            << error;
+    }
+    const CachedDataset healed = datasetCacheGet(name, 0, 1);
+    EXPECT_TRUE(healed.ok) << healed.error;
+    EXPECT_EQ(datasetCacheStats().builds, 2u);
+
+    std::remove(path.c_str());
+    datasetCacheSetNegativeTtlMs(200); // restore the default
+    datasetCacheClear();
+}
+
+TEST(DatasetCache, FreshNegativeEntryStillServesWithinTtl)
+{
+    datasetCacheClear();
+    datasetCacheSetNegativeTtlMs(60000); // nothing expires in-test
+    const std::string name =
+        "file:" + tmpPath("cache_no_heal.dlx");
+    ASSERT_FALSE(datasetCacheGet(name, 0, 1).ok);
+    ASSERT_FALSE(datasetCacheGet(name, 0, 1).ok);
+    const DatasetCacheStats stats = datasetCacheStats();
+    EXPECT_EQ(stats.builds, 1u) << "TTL not lapsed: no retry";
+    EXPECT_EQ(stats.hits, 1u);
+    datasetCacheSetNegativeTtlMs(200);
+    datasetCacheClear();
+}
+
 // --- the convert driver -----------------------------------------------
 
 int

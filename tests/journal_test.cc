@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Run-journal tests: render/parse round trips, checksum verification,
+ * torn-tail tolerance (the kill -9 failure mode), plan binding, and
+ * writer append/reopen semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/journal.hh"
+
+namespace dalorex
+{
+namespace journal
+{
+namespace
+{
+
+/** A journal path in the test's working directory, removed on exit. */
+struct TempJournal
+{
+    std::string path;
+    explicit TempJournal(const std::string& name) : path(name)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempJournal() { std::remove(path.c_str()); }
+};
+
+Record
+okRecord(std::uint64_t row, std::uint64_t point)
+{
+    Record record;
+    record.row = row;
+    record.pointHash = point;
+    record.status = RowStatus::ok;
+    record.attempts = 1;
+    record.payload = "{\"cycles\":42,\"nested\":{\"a\":[1,2]}}";
+    return record;
+}
+
+TEST(JournalLine, HeaderRoundTrips)
+{
+    const std::string line = renderHeader(0xdeadbeefcafe1234ull, 17);
+    ParsedLine parsed;
+    std::string err;
+    ASSERT_TRUE(parseLine(line, parsed, err)) << err;
+    EXPECT_TRUE(parsed.isHeader);
+    EXPECT_EQ(parsed.planHash, 0xdeadbeefcafe1234ull);
+    EXPECT_EQ(parsed.points, 17u);
+}
+
+TEST(JournalLine, OkRecordRoundTripsPayloadVerbatim)
+{
+    const Record record = okRecord(3, 0x1122334455667788ull);
+    ParsedLine parsed;
+    std::string err;
+    ASSERT_TRUE(parseLine(renderRecord(record), parsed, err)) << err;
+    EXPECT_FALSE(parsed.isHeader);
+    EXPECT_EQ(parsed.record.row, 3u);
+    EXPECT_EQ(parsed.record.pointHash, 0x1122334455667788ull);
+    EXPECT_EQ(parsed.record.status, RowStatus::ok);
+    // Byte-identity is the whole point: the payload comes back as the
+    // exact bytes that went in, not a re-serialization.
+    EXPECT_EQ(parsed.record.payload, record.payload);
+}
+
+TEST(JournalLine, ErrorRecordCarriesErrorAndAttempts)
+{
+    Record record;
+    record.row = 7;
+    record.pointHash = 42;
+    record.status = RowStatus::failed;
+    record.attempts = 3;
+    record.error = "dataset file vanished: \"weird\" \\ chars";
+    ParsedLine parsed;
+    std::string err;
+    ASSERT_TRUE(parseLine(renderRecord(record), parsed, err)) << err;
+    EXPECT_EQ(parsed.record.status, RowStatus::failed);
+    EXPECT_EQ(parsed.record.attempts, 3u);
+    EXPECT_EQ(parsed.record.error, record.error);
+}
+
+TEST(JournalLine, CorruptionFailsTheChecksum)
+{
+    std::string line = renderRecord(okRecord(1, 99));
+    // Flip one payload byte; the checksum must notice.
+    const std::size_t at = line.find("42");
+    ASSERT_NE(at, std::string::npos);
+    line[at] = '9';
+    ParsedLine parsed;
+    std::string err;
+    EXPECT_FALSE(parseLine(line, parsed, err));
+    EXPECT_NE(err.find("checksum"), std::string::npos);
+}
+
+TEST(JournalLine, TornLineIsRejectedNotParsed)
+{
+    const std::string whole = renderRecord(okRecord(1, 99));
+    for (const std::size_t keep :
+         {whole.size() - 1, whole.size() / 2, std::size_t(3)}) {
+        ParsedLine parsed;
+        std::string err;
+        EXPECT_FALSE(
+            parseLine(whole.substr(0, keep), parsed, err))
+            << "kept " << keep << " bytes";
+    }
+}
+
+TEST(JournalReplay, WriteThenReplayRecoversEverything)
+{
+    TempJournal temp("journal_test_roundtrip.jsonl");
+    Writer writer;
+    std::string err;
+    ASSERT_TRUE(writer.open(temp.path, 0xabc, 4, err)) << err;
+    ASSERT_TRUE(writer.append(okRecord(0, 10)));
+    Record failed;
+    failed.row = 1;
+    failed.pointHash = 11;
+    failed.status = RowStatus::failed;
+    failed.attempts = 2;
+    failed.error = "mmap: transient";
+    ASSERT_TRUE(writer.append(failed));
+    EXPECT_EQ(writer.written(), 2u);
+    writer.close();
+
+    const Replay replayed = replay(temp.path);
+    ASSERT_TRUE(replayed.ok) << replayed.error;
+    EXPECT_EQ(replayed.planHash, 0xabcu);
+    EXPECT_EQ(replayed.points, 4u);
+    EXPECT_EQ(replayed.corrupt, 0u);
+    ASSERT_EQ(replayed.records.size(), 2u);
+    EXPECT_EQ(replayed.records[0].status, RowStatus::ok);
+    EXPECT_EQ(replayed.records[1].status, RowStatus::failed);
+}
+
+TEST(JournalReplay, TornTrailingLineIsDroppedAndCounted)
+{
+    TempJournal temp("journal_test_torn.jsonl");
+    {
+        Writer writer;
+        std::string err;
+        ASSERT_TRUE(writer.open(temp.path, 1, 2, err)) << err;
+        ASSERT_TRUE(writer.append(okRecord(0, 10)));
+        writer.close();
+    }
+    // Simulate kill -9 mid-append: half a record, no newline.
+    {
+        std::ofstream out(temp.path, std::ios::app);
+        out << renderRecord(okRecord(1, 11)).substr(0, 20);
+    }
+    const Replay replayed = replay(temp.path);
+    ASSERT_TRUE(replayed.ok) << replayed.error;
+    ASSERT_EQ(replayed.records.size(), 1u);
+    EXPECT_EQ(replayed.records[0].row, 0u);
+    EXPECT_EQ(replayed.corrupt, 1u);
+}
+
+TEST(JournalReplay, ReopenAppendsAndHeadersMustAgree)
+{
+    TempJournal temp("journal_test_reopen.jsonl");
+    {
+        Writer writer;
+        std::string err;
+        ASSERT_TRUE(writer.open(temp.path, 5, 3, err)) << err;
+        ASSERT_TRUE(writer.append(okRecord(0, 10)));
+    }
+    {
+        // The resumed run appends into the same journal with the same
+        // plan identity — two headers, one plan.
+        Writer writer;
+        std::string err;
+        ASSERT_TRUE(writer.open(temp.path, 5, 3, err)) << err;
+        ASSERT_TRUE(writer.append(okRecord(1, 11)));
+    }
+    const Replay same = replay(temp.path);
+    ASSERT_TRUE(same.ok) << same.error;
+    EXPECT_EQ(same.records.size(), 2u);
+
+    // A third session claiming a different plan poisons the file.
+    {
+        Writer writer;
+        std::string err;
+        ASSERT_TRUE(writer.open(temp.path, 6, 3, err)) << err;
+    }
+    const Replay mixed = replay(temp.path);
+    EXPECT_FALSE(mixed.ok);
+    EXPECT_NE(mixed.error.find("disagree"), std::string::npos);
+}
+
+TEST(JournalReplay, MissingFileIsAnError)
+{
+    const Replay replayed =
+        replay("journal_test_no_such_file.jsonl");
+    EXPECT_FALSE(replayed.ok);
+    EXPECT_FALSE(replayed.error.empty());
+}
+
+TEST(JournalReplay, GarbageFileHasNoHeader)
+{
+    TempJournal temp("journal_test_garbage.jsonl");
+    {
+        std::ofstream out(temp.path);
+        out << "not a journal\n{\"type\":\"row\"}\n";
+    }
+    const Replay replayed = replay(temp.path);
+    EXPECT_FALSE(replayed.ok);
+    EXPECT_NE(replayed.error.find("header"), std::string::npos);
+}
+
+} // namespace
+} // namespace journal
+} // namespace dalorex

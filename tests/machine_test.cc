@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "apps/bfs.hh"
 #include "apps/graph_app.hh"
 #include "apps/kernels.hh"
@@ -191,7 +193,7 @@ TEST(Machine, RunIsOneShot)
     EXPECT_DEATH(machine.run(*app2), "one-shot");
 }
 
-TEST(Machine, MaxCyclesGuard)
+TEST(Machine, MaxCyclesUnwindsAsTimeout)
 {
     const Csr graph = testGraph();
     const KernelSetup setup = makeKernelSetup("bfs", graph);
@@ -199,7 +201,55 @@ TEST(Machine, MaxCyclesGuard)
     MachineConfig config = config4x4();
     config.maxCycles = 10; // far too small to finish
     Machine machine(config, graph.numVertices, graph.numEdges);
-    EXPECT_DEATH(machine.run(*app), "maxCycles");
+    const RunStats stats = machine.run(*app);
+    EXPECT_EQ(stats.status, RunStatus::timeout);
+    EXPECT_NE(stats.statusDetail.find("maxCycles"),
+              std::string::npos);
+    // The unwind happens at a cycle boundary. The idle fast-forward
+    // may jump one event window past the budget before the check
+    // fires, so the guarantee is "promptly after", not "exactly at":
+    EXPECT_GT(stats.cycles, 10u);
+    EXPECT_LT(stats.cycles, 100u);
+}
+
+TEST(Machine, CancelFlagUnwindsAsCancelled)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    std::atomic<bool> cancel{true}; // cancelled before the first cycle
+    RunControl control;
+    control.cancel = &cancel;
+    const RunStats stats = machine.run(*app, &control);
+    EXPECT_EQ(stats.status, RunStatus::cancelled);
+    EXPECT_NE(stats.statusDetail.find("cancelled"),
+              std::string::npos);
+}
+
+TEST(Machine, ExpiredDeadlineUnwindsAsTimeout)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    RunControl control;
+    control.expired.store(true); // watchdog fired before the run
+    const RunStats stats = machine.run(*app, &control);
+    EXPECT_EQ(stats.status, RunStatus::timeout);
+    EXPECT_NE(stats.statusDetail.find("deadline"),
+              std::string::npos);
+}
+
+TEST(Machine, NullControlCompletesNormally)
+{
+    const Csr graph = testGraph();
+    const KernelSetup setup = makeKernelSetup("bfs", graph);
+    auto app = setup.makeApp();
+    Machine machine(config4x4(), graph.numVertices, graph.numEdges);
+    const RunStats stats = machine.run(*app, nullptr);
+    EXPECT_EQ(stats.status, RunStatus::completed);
+    EXPECT_EQ(app->gatherValues(machine), setup.referenceWords());
 }
 
 TEST(Machine, NonSquareGridWorks)

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <numeric>
@@ -222,6 +223,75 @@ TEST_P(PhaseBarrierTest, BackToBackSyncsDoNotAlias)
     for (std::thread& t : threads)
         t.join();
     EXPECT_EQ(counter.load(), members);
+}
+
+// --- DeadlineWatchdog ------------------------------------------------
+
+TEST(DeadlineWatchdog, FiresExpiredDeadlines)
+{
+    DeadlineWatchdog watchdog;
+    std::atomic<bool> flag{false};
+    watchdog.arm(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(20),
+                 &flag);
+    for (int i = 0; i < 500 && !flag.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(flag.load());
+    EXPECT_EQ(watchdog.armed(), 0u);
+}
+
+TEST(DeadlineWatchdog, DisarmedDeadlineNeverFires)
+{
+    DeadlineWatchdog watchdog;
+    std::atomic<bool> flag{false};
+    const std::uint64_t token = watchdog.arm(
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(50),
+        &flag);
+    watchdog.disarm(token);
+    EXPECT_EQ(watchdog.armed(), 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_FALSE(flag.load());
+}
+
+TEST(DeadlineWatchdog, AlreadyPastDeadlineFiresPromptly)
+{
+    DeadlineWatchdog watchdog;
+    std::atomic<bool> flag{false};
+    watchdog.arm(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1),
+                 &flag);
+    for (int i = 0; i < 500 && !flag.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_TRUE(flag.load());
+}
+
+TEST(DeadlineWatchdog, ManyConcurrentDeadlinesAllFire)
+{
+    DeadlineWatchdog watchdog;
+    constexpr int n = 32;
+    std::vector<std::atomic<bool>> flags(n);
+    const auto now = std::chrono::steady_clock::now();
+    for (int i = 0; i < n; ++i)
+        watchdog.arm(now + std::chrono::milliseconds(1 + i % 7),
+                     &flags[i]);
+    bool all = false;
+    for (int spin = 0; spin < 1000 && !all; ++spin) {
+        all = true;
+        for (int i = 0; i < n; ++i)
+            all = all && flags[i].load();
+        if (!all)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(all);
+    EXPECT_EQ(watchdog.armed(), 0u);
+}
+
+TEST(DeadlineWatchdog, ProcessSingletonIsOneInstance)
+{
+    EXPECT_EQ(&processDeadlineWatchdog(),
+              &processDeadlineWatchdog());
 }
 
 } // namespace

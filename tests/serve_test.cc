@@ -13,6 +13,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -746,6 +748,225 @@ TEST(ServeSocket, SweepViaDaemonMatchesLocalSweepByteForByte)
     EXPECT_NE(line.find("\"accepted\""), std::string::npos);
     daemon.join();
     ::close(probe);
+}
+
+// --- fault tolerance: deadlines, oversized lines, journal, drain -----
+
+TEST(Protocol, OversizedLineReportsObservedBytesAndLimit)
+{
+    const std::string big(maxRequestBytes + 123, 'x');
+    const ParsedRequest p = parseRequestLine(big);
+    ASSERT_FALSE(p.ok);
+    EXPECT_NE(p.error.find(std::to_string(big.size())),
+              std::string::npos)
+        << p.error;
+    EXPECT_NE(p.error.find("65536-byte limit"), std::string::npos)
+        << p.error;
+}
+
+TEST(Protocol, DeadlineMsRoundTripsButIsNotScenarioIdentity)
+{
+    const ParsedRequest p = parseRequestLine(
+        runLine("dl", ",\"deadline_ms\":250"));
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.request.options.deadlineMs, 250u);
+    const std::string rendered =
+        renderRunRequest(p.request.options, "dl2", "");
+    EXPECT_NE(rendered.find("\"deadline_ms\":250"),
+              std::string::npos);
+
+    // The run-control budget must not change which cached/journaled
+    // result a scenario maps to.
+    cli::Options bare = p.request.options;
+    bare.deadlineMs = 0;
+    EXPECT_EQ(pointHash(p.request.options), pointHash(bare));
+}
+
+TEST(ServerCore, DeadlineExpiresAsTimeoutResultAndDaemonSurvives)
+{
+    // A request whose compute far exceeds its wall-clock budget must
+    // come back as a `result` carrying status "timeout" within ~2x
+    // the budget, and the daemon must keep serving afterwards.
+    datasetCacheClear();
+    // Prewarm the dataset so the budget measures engine time, not
+    // graph generation.
+    {
+        const cli::Options warm = tinyOptions();
+        ASSERT_TRUE(
+            datasetCacheGet("rmat10", 0, warm.seed).ok);
+    }
+    Server server(1);
+    Capture capture;
+    const std::uint64_t conn = server.openConnection(capture.sink());
+    const std::uint64_t deadline_ms = 1000;
+    const auto t0 = std::chrono::steady_clock::now();
+    server.handleLine(
+        conn, "{\"type\":\"run\",\"id\":\"dl\","
+              "\"kernel\":\"pagerank\",\"scale\":10,"
+              "\"width\":2,\"height\":2,"
+              "\"params\":\"iterations=1000\","
+              "\"deadline_ms\":" +
+                  std::to_string(deadline_ms) + "}");
+    server.handleLine(conn, runLine("alive-after"));
+    server.requestShutdown();
+    server.serve();
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::string line;
+    ASSERT_TRUE(capture.findLine("result", "dl", line)) << line;
+    std::string payload;
+    ASSERT_TRUE(extractResultPayload(line, payload));
+    EXPECT_NE(payload.find("\"status\":\"timeout\""),
+              std::string::npos)
+        << payload;
+    EXPECT_TRUE(capture.findLine("result", "alive-after", line));
+    EXPECT_LT(elapsed_ms,
+              static_cast<long long>(2 * deadline_ms))
+        << "timeout did not cut the run promptly";
+    datasetCacheClear();
+}
+
+TEST(ServerCore, StatsReportFaultCounters)
+{
+    datasetCacheClear();
+    Server server(1);
+    Capture capture;
+    const std::uint64_t conn = server.openConnection(capture.sink());
+    // One deadline casualty (already expired at enqueue: the budget
+    // counts from acceptance, so deadline_ms of a request that waits
+    // behind a long queue can lapse before its first cycle).
+    server.handleLine(
+        conn, "{\"type\":\"run\",\"id\":\"t1\","
+              "\"kernel\":\"pagerank\",\"scale\":8,"
+              "\"width\":2,\"height\":2,"
+              "\"params\":\"iterations=1000\","
+              "\"deadline_ms\":1}");
+    server.handleLine(conn, runLine("ok1"));
+    server.requestShutdown();
+    server.serve();
+    server.handleLine(conn, "{\"type\":\"stats\",\"id\":\"st\"}");
+
+    std::string line;
+    ASSERT_TRUE(capture.findLine("stats", "st", line));
+    EXPECT_NE(line.find("\"fault\":{"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"timeouts\":1"), std::string::npos) << line;
+    for (const char* key :
+         {"\"cancellations\":", "\"retries\":", "\"quarantined\":",
+          "\"journal_written\":", "\"journal_replayed\":"})
+        EXPECT_NE(line.find(key), std::string::npos) << key;
+    datasetCacheClear();
+}
+
+TEST(ServerCore, JournalDirReplaysAcrossDaemonRestart)
+{
+    // Two Server instances sharing a --journal-dir model a daemon
+    // restart: the second answers an already-journaled scenario from
+    // disk, byte-identically, without re-running it.
+    datasetCacheClear();
+    const std::string dir =
+        ::testing::TempDir() + "serve_journal_dir";
+    std::remove((dir + "/_.journal").c_str());
+
+    std::string first_payload;
+    {
+        Server server(1);
+        std::string diag;
+        ASSERT_TRUE(server.enableJournal(dir, diag)) << diag;
+        Capture capture;
+        const std::uint64_t conn =
+            server.openConnection(capture.sink());
+        server.handleLine(conn, runLine("gen1"));
+        server.requestShutdown();
+        server.serve();
+        std::string line;
+        ASSERT_TRUE(capture.findLine("result", "gen1", line));
+        ASSERT_TRUE(extractResultPayload(line, first_payload));
+    }
+    datasetCacheClear(); // the restarted daemon starts cold
+    {
+        Server server(1);
+        std::string diag;
+        ASSERT_TRUE(server.enableJournal(dir, diag)) << diag;
+        Capture capture;
+        const std::uint64_t conn =
+            server.openConnection(capture.sink());
+        server.handleLine(conn, runLine("gen2"));
+        server.requestShutdown();
+        server.serve();
+        std::string line;
+        ASSERT_TRUE(capture.findLine("result", "gen2", line));
+        std::string payload;
+        ASSERT_TRUE(extractResultPayload(line, payload));
+        EXPECT_EQ(payload, first_payload);
+
+        // Replay is visible in the fault counters, and the dataset
+        // cache shows the run was not recomputed.
+        server.handleLine(conn, "{\"type\":\"stats\",\"id\":\"s\"}");
+        ASSERT_TRUE(capture.findLine("stats", "s", line));
+        EXPECT_NE(line.find("\"journal_replayed\":1"),
+                  std::string::npos)
+            << line;
+        EXPECT_EQ(datasetCacheStats().builds, 0u)
+            << "replayed run must not touch the dataset cache";
+    }
+    std::remove((dir + "/_.journal").c_str());
+    datasetCacheClear();
+}
+
+TEST(ServeSocket, SigtermDrainsAcceptedWorkBeforeExit)
+{
+    // kill -TERM on a busy daemon: every accepted request still gets
+    // its response before the process exits (satellite of the crash
+    // recovery story — clients never see a half-served socket).
+    const std::string path = "serve_test_sigterm.sock";
+    std::istringstream in;
+    std::ostringstream out;
+    std::ostringstream err;
+    int rc = -1;
+    std::thread daemon([&] {
+        const char* argv[] = {"serve", "--socket", path.c_str(),
+                              "--workers", "1"};
+        rc = serveMain(5, argv, in, out, err);
+    });
+    int fd = -1;
+    std::string diag;
+    for (int i = 0; i < 500 && fd < 0; ++i) {
+        fd = connectUnix(path, diag);
+        if (fd < 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(fd, 0) << diag;
+
+    ASSERT_TRUE(sendAll(fd, runLine("drain-1") + "\n"));
+    ASSERT_TRUE(sendAll(fd, runLine("drain-2") + "\n"));
+    LineReader reader(fd);
+    std::string line;
+    // Both accepted before the signal lands (results may already be
+    // interleaved — count them too, they mustn't be lost).
+    int results = 0;
+    for (int accepted = 0; accepted < 2;) {
+        ASSERT_EQ(reader.readLine(line), ReadStatus::line);
+        if (line.find("\"accepted\"") != std::string::npos)
+            ++accepted;
+        if (line.find("\"type\":\"result\"") != std::string::npos)
+            ++results;
+    }
+    ::raise(SIGTERM);
+
+    // The daemon drains: both results arrive, then the socket closes.
+    while (reader.readLine(line) == ReadStatus::line)
+        if (line.find("\"type\":\"result\"") != std::string::npos)
+            ++results;
+    EXPECT_EQ(results, 2);
+    daemon.join();
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(err.str().find("drained, exiting"),
+              std::string::npos);
+    ::close(fd);
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.hh"
 #include "graph/dataset_cache.hh"
 #include "graph/graphfile.hh"
 #include "sweep/aggregate.hh"
@@ -683,8 +684,167 @@ TEST(SweepMain, HelpCoversTheNewFlags)
     EXPECT_EQ(code, 0);
     for (const char* flag :
          {"--threads", "--list-datasets", "--grid-size", "--baseline",
-          "--barrier"})
+          "--barrier", "--journal", "--resume", "--retries",
+          "--row-deadline-ms"})
         EXPECT_NE(out.find(flag), std::string::npos) << flag;
+}
+
+// --- fault tolerance: journal, resume, retries ------------------------
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+TEST(SweepParse, FaultToleranceFlags)
+{
+    const std::vector<const char*> args = {
+        "sweep",     "--journal",          "j.jsonl",
+        "--resume",  "old.jsonl",          "--retries",
+        "2",         "--retry-backoff-ms", "5",
+        "--row-deadline-ms", "750"};
+    const SweepParseResult parsed =
+        parseSweepArgs(static_cast<int>(args.size()), args.data());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.options.journalPath, "j.jsonl");
+    EXPECT_EQ(parsed.options.resumePath, "old.jsonl");
+    EXPECT_EQ(parsed.options.retries, 2u);
+    EXPECT_EQ(parsed.options.retryBackoffMs, 5u);
+    EXPECT_EQ(parsed.options.rowDeadlineMs, 750u);
+
+    std::string out;
+    std::string err;
+    EXPECT_EQ(runSweep({"--retries", "99"}, out, err), 2);
+    EXPECT_NE(err.find("--retries"), std::string::npos);
+}
+
+TEST(SweepFault, KilledJournalResumesByteIdentically)
+{
+    // The checkpoint/resume acceptance test. A journaled sweep's
+    // output files, and those of a second sweep resumed from a
+    // torn copy of that journal (what a kill -9 mid-run leaves
+    // behind), must be byte-identical — replayed rows come from the
+    // journal payloads, not from re-execution.
+    datasetCacheClear();
+    const std::string dir = testing::TempDir();
+    const std::string j_full = dir + "sweep_fault_full.journal";
+    const std::string j_torn = dir + "sweep_fault_torn.journal";
+    const std::string j_new = dir + "sweep_fault_resume.journal";
+    const std::string a_rows = dir + "sweep_fault_a.jsonl";
+    const std::string a_csv = dir + "sweep_fault_a.csv";
+    const std::string b_rows = dir + "sweep_fault_b.jsonl";
+    const std::string b_csv = dir + "sweep_fault_b.csv";
+    for (const std::string& p :
+         {j_full, j_torn, j_new, a_rows, a_csv, b_rows, b_csv})
+        std::remove(p.c_str());
+
+    std::string out;
+    std::string err;
+    const int code_a = runSweep(
+        {"--kernel", "bfs,wcc", "--grid-size", "2x2,4x4", "--scale",
+         "8", "--threads", "1", "--journal", j_full.c_str(),
+         "--jsonl", a_rows.c_str(), "--csv", a_csv.c_str()},
+        out, err);
+    ASSERT_EQ(code_a, 0) << err;
+
+    // Tear the journal after the header + two complete rows, with a
+    // half-written record at the end — exactly a kill -9 footprint.
+    {
+        std::ifstream in(j_full);
+        std::ofstream torn(j_torn, std::ios::binary);
+        std::string line;
+        int keep = 3; // header + 2 records
+        while (keep-- > 0 && std::getline(in, line))
+            torn << line << "\n";
+        ASSERT_TRUE(std::getline(in, line));
+        torn << line.substr(0, line.size() / 2); // no newline
+    }
+
+    const int code_b = runSweep(
+        {"--kernel", "bfs,wcc", "--grid-size", "2x2,4x4", "--scale",
+         "8", "--threads", "1", "--resume", j_torn.c_str(),
+         "--journal", j_new.c_str(), "--jsonl", b_rows.c_str(),
+         "--csv", b_csv.c_str()},
+        out, err);
+    ASSERT_EQ(code_b, 0) << err;
+    EXPECT_NE(err.find("resumed 2 of 4"), std::string::npos) << err;
+
+    const std::string a_rows_bytes = slurp(a_rows);
+    ASSERT_FALSE(a_rows_bytes.empty());
+    EXPECT_EQ(a_rows_bytes, slurp(b_rows))
+        << "JSONL rows differ between journaled and resumed sweeps";
+    const std::string a_csv_bytes = slurp(a_csv);
+    ASSERT_FALSE(a_csv_bytes.empty());
+    EXPECT_EQ(a_csv_bytes, slurp(b_csv))
+        << "CSV differs between journaled and resumed sweeps";
+
+    // Zero replayed rows were recomputed: the resumed journal holds
+    // the 2 carried-forward records plus exactly the 2 missing rows.
+    const journal::Replay replayed = journal::replay(j_new);
+    ASSERT_TRUE(replayed.ok) << replayed.error;
+    EXPECT_EQ(replayed.records.size(), 4u);
+
+    for (const std::string& p :
+         {j_full, j_torn, j_new, a_rows, a_csv, b_rows, b_csv})
+        std::remove(p.c_str());
+    datasetCacheClear();
+}
+
+TEST(SweepFault, ResumeRefusesAForeignPlan)
+{
+    datasetCacheClear();
+    const std::string path =
+        testing::TempDir() + "sweep_fault_foreign.journal";
+    std::remove(path.c_str());
+    std::string out;
+    std::string err;
+    ASSERT_EQ(runSweep({"--kernel", "bfs", "--grid-size", "2x2",
+                        "--scale", "8", "--threads", "1",
+                        "--journal", path.c_str()},
+                       out, err),
+              0)
+        << err;
+    // Same journal, different plan: refused before any row runs.
+    err.clear();
+    EXPECT_EQ(runSweep({"--kernel", "wcc", "--grid-size", "2x2",
+                        "--scale", "8", "--threads", "1", "--resume",
+                        path.c_str()},
+                       out, err),
+              2);
+    EXPECT_NE(err.find("refusing to resume"), std::string::npos)
+        << err;
+    std::remove(path.c_str());
+    datasetCacheClear();
+}
+
+TEST(SweepFault, TransientRowsRetryThenFailWithAttemptsJournaled)
+{
+    datasetCacheClear();
+    datasetCacheSetNegativeTtlMs(0); // every attempt re-reads disk
+    const std::string path =
+        testing::TempDir() + "sweep_fault_retry.journal";
+    std::remove(path.c_str());
+    std::string out;
+    std::string err;
+    const int code = runSweep(
+        {"--kernel", "bfs", "--grid-size", "2x2", "--dataset",
+         "file:sweep_fault_no_such.dlx", "--threads", "1",
+         "--retries", "2", "--retry-backoff-ms", "1", "--journal",
+         path.c_str()},
+        out, err);
+    EXPECT_EQ(code, 1) << err; // rows failed, sweep survived
+    const journal::Replay replayed = journal::replay(path);
+    ASSERT_TRUE(replayed.ok) << replayed.error;
+    ASSERT_EQ(replayed.records.size(), 1u);
+    EXPECT_EQ(replayed.records[0].status, journal::RowStatus::failed);
+    EXPECT_EQ(replayed.records[0].attempts, 3u) << "1 try + 2 retries";
+    std::remove(path.c_str());
+    datasetCacheSetNegativeTtlMs(200);
+    datasetCacheClear();
 }
 
 } // namespace
